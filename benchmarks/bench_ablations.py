@@ -1,0 +1,218 @@
+"""Extension ablations beyond the paper's tables.
+
+Sweeps the design knobs DESIGN.md calls out:
+
+* blaster batch size — too coarse loses pipelining, too fine pays
+  per-message latency;
+* packing limb width ``M`` — wider limbs mean fewer values per cipher;
+* exponent-jitter width ``E`` — drives the naive-accumulation scaling
+  tax that re-ordered accumulation removes.
+"""
+
+from repro.bench.costmodel import CostModel
+from repro.bench.report import format_seconds, format_table
+from repro.core.config import VF2BoostConfig
+from repro.core.profile import analytic_trace
+from repro.core.protocol import ProtocolScheduler
+from repro.fed.cluster import PAPER_CLUSTER
+from repro.gbdt.params import GBDTParams
+
+COST = CostModel.paper()
+PARAMS = GBDTParams(n_layers=7, n_bins=20)
+TRACE = analytic_trace(2_000_000, 10_000, [10_000], 0.002, 20, 7)
+
+
+def _makespan(config: VF2BoostConfig) -> float:
+    return ProtocolScheduler(config, COST, PAPER_CLUSTER).schedule(TRACE).makespan
+
+
+def test_blaster_batch_size_sweep(benchmark, record_result):
+    def sweep():
+        rows = []
+        for batch in (1_000, 10_000, 100_000, 2_000_000):
+            config = VF2BoostConfig(params=PARAMS, blaster_batch_size=batch)
+            rows.append((f"{batch:,}", format_seconds(_makespan(config))))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_result(
+        "ablation_blaster_batch",
+        format_table(["batch size", "tree time (s)"], rows,
+                     title="Ablation — blaster batch size (N=2M)"),
+    )
+    times = [float(r[1]) for r in rows]
+    # One giant batch degenerates to the sequential schedule.
+    assert times[-1] > min(times)
+
+
+def test_pack_width_sweep(benchmark, record_result):
+    def sweep():
+        rows = []
+        for limb in (32, 64, 128, 256):
+            config = VF2BoostConfig(params=PARAMS, limb_bits=limb)
+            t = max(1, (config.key_bits - 2) // limb)
+            rows.append((str(limb), str(t), format_seconds(_makespan(config))))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_result(
+        "ablation_pack_width",
+        format_table(["limb bits M", "pack width t", "tree time (s)"], rows,
+                     title="Ablation — packing limb width (S=2048)"),
+    )
+    # Narrower limbs (more values per cipher) are never slower.
+    times = [float(r[2]) for r in rows]
+    assert times[0] <= times[-1]
+
+
+def test_exponent_jitter_sweep(benchmark, record_result):
+    def sweep():
+        rows = []
+        for n_exponents in (1, 2, 4, 8):
+            trace = analytic_trace(
+                2_000_000, 10_000, [10_000], 0.002, 20, 7,
+                n_exponents=n_exponents,
+            )
+            naive = VF2BoostConfig(
+                params=PARAMS, reordered_accumulation=False,
+                optimistic_split=False, histogram_packing=False,
+                blaster_encryption=False,
+            )
+            reordered = naive.replace(reordered_accumulation=True)
+            t_naive = ProtocolScheduler(naive, COST, PAPER_CLUSTER).schedule(trace).makespan
+            t_reordered = ProtocolScheduler(
+                reordered, COST, PAPER_CLUSTER
+            ).schedule(trace).makespan
+            rows.append(
+                (str(n_exponents), format_seconds(t_naive),
+                 format_seconds(t_reordered), f"{t_naive / t_reordered:.2f}x")
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_result(
+        "ablation_exponent_jitter",
+        format_table(["E", "naive (s)", "re-ordered (s)", "gain"], rows,
+                     title="Ablation — exponent count E vs re-ordered gain"),
+    )
+    gains = [float(r[3][:-1]) for r in rows]
+    # At E=1 there is nothing to reorder; the gain grows with E.
+    assert gains[0] < 1.05
+    assert gains[-1] > gains[0]
+
+
+def test_dirty_rate_vs_feature_ratio(benchmark, record_result):
+    """Counted-mode validation of the D_A/(D_A+D_B) failure model."""
+    import numpy as np
+
+    from repro.core.trainer import FederatedTrainer
+    from repro.data.synthetic import SyntheticSpec, generate_classification
+    from repro.gbdt.binning import bin_dataset
+
+    def sweep():
+        rows = []
+        params = GBDTParams(n_trees=4, n_layers=5, n_bins=10)
+        features, labels = generate_classification(
+            SyntheticSpec(1500, 20, seed=2, noise=0.4)
+        )
+        full = bin_dataset(features, params.n_bins)
+        for features_b in (4, 10, 16):
+            parties = [
+                full.subset_features(np.arange(20 - features_b, 20)),
+                full.subset_features(np.arange(0, 20 - features_b)),
+            ]
+            config = VF2BoostConfig.vf2boost(params=params, crypto_mode="counted")
+            result = FederatedTrainer(config).fit(parties, labels)
+            rows.append(
+                (
+                    f"{20 - features_b}/{features_b}",
+                    f"{features_b / 20:.0%}",
+                    f"{result.trace.split_ratio_of_active():.0%}",
+                    f"{result.trace.dirty_ratio():.0%}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_result(
+        "ablation_dirty_rate",
+        format_table(
+            ["#feat A/B", "B share", "B-split ratio", "dirty rate"], rows,
+            title="Ablation — measured dirty rate vs feature ratio (counted)",
+        ),
+    )
+    dirty = [float(r[3][:-1]) for r in rows]
+    # More features at B -> fewer dirty nodes (§4.2 Discussion).
+    assert dirty[0] > dirty[-1]
+
+
+def test_pair_packing_ablation(benchmark, record_result):
+    """Our §5.2-inspired extension: one cipher per (g, h, 1) triple."""
+
+    def sweep():
+        rows = []
+        for pair, pack in ((False, False), (False, True), (True, False)):
+            config = VF2BoostConfig(
+                params=PARAMS, pair_packing=pair, histogram_packing=pack,
+                crypto_mode="counted",
+            )
+            label = (
+                "pair-packed" if pair
+                else ("hist-packed" if pack else "baseline")
+            )
+            result = ProtocolScheduler(config, COST, PAPER_CLUSTER).schedule(TRACE)
+            rows.append(
+                (label, format_seconds(result.makespan),
+                 f"{result.bytes_per_tree / 1e9:.2f}GB")
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_result(
+        "ablation_pair_packing",
+        format_table(["variant", "tree time (s)", "bytes/tree"], rows,
+                     title="Ablation - gradient-pair packing vs histogram packing"),
+    )
+    times = {row[0]: float(row[1]) for row in rows}
+    assert times["pair-packed"] < times["baseline"]
+
+
+def test_incremental_redo_ablation(benchmark, record_result):
+    """§8 future work: redo only the misplaced rows of dirty subtrees."""
+
+    def sweep():
+        rows = []
+        for fraction in (0.1, 0.3, 0.5, 0.8):
+            trace = analytic_trace(2_000_000, 10_000, [40_000], 0.002, 20, 7)
+            for tree in trace.trees:
+                for layer in tree.layers:
+                    for node in layer.nodes:
+                        node.misplaced_fraction = fraction
+            full = ProtocolScheduler(
+                VF2BoostConfig(params=PARAMS, histogram_packing=False),
+                COST, PAPER_CLUSTER,
+            ).schedule(trace).makespan
+            incremental = ProtocolScheduler(
+                VF2BoostConfig(
+                    params=PARAMS, histogram_packing=False,
+                    incremental_dirty_redo=True,
+                ),
+                COST, PAPER_CLUSTER,
+            ).schedule(trace).makespan
+            rows.append(
+                (f"{fraction:.0%}", format_seconds(full),
+                 format_seconds(incremental), f"{full / incremental:.2f}x")
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_result(
+        "ablation_incremental_redo",
+        format_table(
+            ["misplaced", "full redo (s)", "incremental (s)", "gain"], rows,
+            title="Ablation - incremental dirty redo (paper's s8 future work)",
+        ),
+    )
+    gains = [float(r[3][:-1]) for r in rows]
+    assert gains[0] > 1.15      # clear win when splits mostly agree
+    assert gains[-1] <= 1.01    # no win when they mostly disagree

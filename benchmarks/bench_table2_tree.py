@@ -1,0 +1,39 @@
+"""Table 2 — whole-tree time: OptimSplit and HistPack ablation.
+
+Fidelity: **analytic** — N=10M traces with feature splits 40K/10K,
+25K/25K, 10K/40K. Paper reference: OptimSplit 1.28-1.45x (better when
+B owns more features), HistPack 1.24-1.67x (better when A owns more),
+both 1.90-2.21x.
+"""
+
+from repro.bench.experiments import run_table2
+
+
+def test_table2(benchmark, record_result):
+    rows, rendered = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    record_result("table2_tree", rendered)
+    for row in rows:
+        base = row["baseline"]
+        assert base / row["+OptimSplit"] > 1.05
+        assert base / row["+HistPack"] > 1.2
+        assert base / row["+Both"] > 1.25
+
+
+def test_table2_optimism_tracks_b_share(record_result):
+    rows, _ = run_table2()
+    gains = [row["baseline"] / row["+OptimSplit"] for row in rows]
+    # Paper: 1.28x at 22% B-splits -> 1.45x at 84% B-splits.
+    assert gains[-1] > gains[0]
+
+
+def test_table2_packing_tracks_a_share(record_result):
+    rows, _ = run_table2()
+    gains = [row["baseline"] / row["+HistPack"] for row in rows]
+    # Paper: 1.67x at 40K A-features -> 1.24x at 10K.
+    assert gains[0] >= gains[-1]
+
+
+def test_table2_split_ratio_column(record_result):
+    rows, _ = run_table2()
+    ratios = [row["ratio_b"] for row in rows]
+    assert ratios == sorted(ratios)

@@ -1,0 +1,28 @@
+"""Table 5 — scalability with the number of workers per party.
+
+Fidelity: **analytic** — paper-scale traces scheduled under clusters of
+4/8/16 workers.  Paper reference: speedups are sublinear (1.40-1.65x
+at 8 workers, 1.85-2.23x at 16, relative to 4); our model scales
+somewhat closer to linear (documented in EXPERIMENTS.md) but keeps the
+sublinearity and the rcv1 aggregation cap.
+"""
+
+from repro.bench.experiments import run_table5
+
+
+def test_table5(benchmark, record_result):
+    results, rendered = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    record_result("table5_workers", rendered)
+    for name, times in results.items():
+        # More workers never hurt, but scaling is sublinear.
+        assert times[4] > times[8] > times[16]
+        assert times[4] / times[16] < 4.0
+
+
+def test_table5_rcv1_caps_hardest(record_result):
+    results, _ = run_table5()
+    speedup_16 = {name: times[4] / times[16] for name, times in results.items()}
+    # High-dimensional rcv1 pays the largest aggregation tax (§6.4).
+    assert speedup_16["rcv1"] <= min(
+        speedup_16[name] for name in ("susy", "epsilon", "synthesis")
+    )

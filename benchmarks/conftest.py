@@ -1,0 +1,33 @@
+"""Benchmark-suite plumbing: results directory + render helper.
+
+Every benchmark both *benchmarks* a representative kernel (so
+``pytest-benchmark`` has something to time) and regenerates its paper
+table/figure, writing the rendered text to ``benchmarks/results/`` so
+the reproduction artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_result(results_dir):
+    """Write a rendered table to results/<name>.txt and echo it."""
+
+    def _record(name: str, rendered: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(rendered + "\n")
+        print(f"\n{rendered}\n[saved to {path}]")
+
+    return _record

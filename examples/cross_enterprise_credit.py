@@ -1,0 +1,111 @@
+"""Cross-enterprise credit scoring — the paper's motivating scenario.
+
+A bank (Party B) holds repayment labels and account features for its
+customers. A social platform (Party A) holds behavioral features for a
+partially overlapping user base. The pipeline below is exactly the
+production flow of §3/§6.1:
+
+1. **PSI** aligns the two user bases without revealing non-overlapping
+   customers to either side;
+2. both parties bin their own columns locally;
+3. VF²Boost trains over the virtual join with encrypted statistics;
+4. the bank's model quality is compared with what it could achieve on
+   its own data — the value proposition of vertical FL.
+
+Run:  python examples/cross_enterprise_credit.py
+"""
+
+import numpy as np
+
+from repro import FederatedTrainer, GBDTParams, GBDTTrainer, VF2BoostConfig
+from repro.data.psi import psi_align
+from repro.gbdt.binning import bin_dataset
+from repro.gbdt.metrics import auc
+
+
+def build_enterprises(seed: int = 7):
+    """Synthesize two enterprises with overlapping customers."""
+    rng = np.random.default_rng(seed)
+    overlap = 400
+    bank_ids = [f"cust-{k}" for k in range(overlap + 150)]
+    platform_ids = [f"cust-{k}" for k in range(overlap)] + [
+        f"user-{k}" for k in range(260)
+    ]
+    rng.shuffle(bank_ids)
+    rng.shuffle(platform_ids)
+
+    bank_features = rng.normal(size=(len(bank_ids), 6))      # account data
+    platform_features = rng.normal(size=(len(platform_ids), 8))  # behavior
+
+    # Default risk depends on *both* parties' features.
+    index_bank = {cid: i for i, cid in enumerate(bank_ids)}
+    index_platform = {cid: i for i, cid in enumerate(platform_ids)}
+    labels = {}
+    for cid in set(bank_ids) & set(platform_ids):
+        score = (
+            1.2 * bank_features[index_bank[cid], 0]
+            - 0.8 * bank_features[index_bank[cid], 1]
+            + 1.0 * platform_features[index_platform[cid], 0]
+            + 0.7 * platform_features[index_platform[cid], 3]
+        )
+        labels[cid] = float(score + rng.normal(scale=0.4) > 0)
+    return bank_ids, bank_features, platform_ids, platform_features, labels
+
+
+def main() -> None:
+    bank_ids, bank_x, platform_ids, platform_x, label_map = build_enterprises()
+
+    print("Step 1 — private set intersection (DH-style, semi-honest)")
+    rows_bank, rows_platform = psi_align(bank_ids, platform_ids, seed=11)
+    print(f"  bank customers: {len(bank_ids)}, platform users: {len(platform_ids)}")
+    print(f"  intersection: {len(rows_bank)} (neither side learns the rest)")
+
+    aligned_bank = bank_x[rows_bank]
+    aligned_platform = platform_x[rows_platform]
+    labels = np.array([label_map[bank_ids[i]] for i in rows_bank])
+    n_train = int(0.8 * len(labels))
+
+    params = GBDTParams(n_trees=10, n_layers=5, n_bins=12)
+
+    print("\nStep 2 — the bank alone")
+    bank_only = GBDTTrainer(params)
+    bank_only.fit(
+        aligned_bank[:n_train], labels[:n_train],
+        aligned_bank[n_train:], labels[n_train:],
+    )
+    print(f"  bank-only validation AUC: {bank_only.history[-1].valid_auc:.3f}")
+
+    print("\nStep 3 — federated training (counted mode for speed)")
+    full = bin_dataset(
+        np.hstack([aligned_bank[:n_train], aligned_platform[:n_train]]),
+        params.n_bins,
+    )
+    party_bank = full.subset_features(np.arange(0, 6))
+    party_platform = full.subset_features(np.arange(6, 14))
+    config = VF2BoostConfig.vf2boost(params=params, crypto_mode="counted")
+    result = FederatedTrainer(config).fit([party_bank, party_platform], labels[:n_train])
+
+    # Federated prediction needs both parties' validation codes.
+    from repro.gbdt.binning import bin_column
+
+    valid_joined = np.hstack([aligned_bank[n_train:], aligned_platform[n_train:]])
+    valid_codes = np.empty(valid_joined.shape, dtype=np.uint16)
+    for j in range(valid_joined.shape[1]):
+        valid_codes[:, j] = bin_column(valid_joined[:, j], full.cut_points[j])
+    margins = result.model.predict_margin(
+        {0: valid_codes[:, :6], 1: valid_codes[:, 6:]}
+    )
+    federated_auc = auc(labels[n_train:], margins)
+    print(f"  federated validation AUC: {federated_auc:.3f}")
+
+    owners = result.model.split_counts_by_owner()
+    print(f"\nsplit ownership — bank: {owners.get(0, 0)}, platform: {owners.get(1, 0)}")
+    print(
+        f"AUC lift from federation: "
+        f"{federated_auc - bank_only.history[-1].valid_auc:+.3f}"
+    )
+    print("The platform never sees labels; the bank never sees raw behavior.")
+
+
+if __name__ == "__main__":
+    main()

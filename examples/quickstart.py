@@ -1,0 +1,61 @@
+"""Quickstart: train VF²Boost on a vertically partitioned dataset.
+
+Two parties hold disjoint feature columns over the same users; Party B
+also holds the labels. We train the full federated GBDT with real
+Paillier cryptography (test-sized 256-bit keys for speed) and verify it
+matches co-located plaintext training — the lossless property.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import FederatedTrainer, GBDTParams, GBDTTrainer, VF2BoostConfig
+from repro.gbdt.binning import bin_dataset
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    n, n_features = 300, 10
+    features = rng.normal(size=(n, n_features))
+    weights = rng.normal(size=n_features)
+    labels = (features @ weights + rng.normal(scale=0.3, size=n) > 0).astype(float)
+
+    params = GBDTParams(n_trees=3, n_layers=4, n_bins=8)
+    full = bin_dataset(features, params.n_bins)
+
+    # Vertical partition: Party B (labels + columns 5..9), Party A (0..4).
+    party_b = full.subset_features(np.arange(5, 10))
+    party_a = full.subset_features(np.arange(0, 5))
+
+    config = VF2BoostConfig.vf2boost(
+        params=params,
+        crypto_mode="real",      # actually run the Paillier protocol
+        key_bits=256,            # paper uses 2048; small keys for the demo
+        exponent_jitter=3,
+        blaster_batch_size=100,
+    )
+    print("Training VF2Boost (real Paillier crypto)...")
+    result = FederatedTrainer(config).fit([party_b, party_a], labels)
+    for record in result.history:
+        print(f"  tree {record.tree_index}: train logloss {record.train_loss:.4f}")
+
+    print("\nReference: plaintext GBDT on co-located data")
+    plaintext = GBDTTrainer(params)
+    plaintext.fit_binned(full, labels)
+    for record in plaintext.history:
+        print(f"  tree {record.tree_index}: train logloss {record.train_loss:.4f}")
+
+    gap = max(
+        abs(a.train_loss - b.train_loss)
+        for a, b in zip(result.history, plaintext.history)
+    )
+    print(f"\nmax loss gap federated vs co-located: {gap:.2e}  (lossless protocol)")
+
+    owners = result.model.split_counts_by_owner()
+    print(f"splits owned by Party B: {owners.get(0, 0)}, Party A: {owners.get(1, 0)}")
+    print(f"cross-party traffic: {result.channel.total_bytes():,} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""VF²Boost reproduction: very fast vertical federated gradient boosting.
+
+A from-scratch Python implementation of the complete system of
+Fu et al., *VF²Boost* (SIGMOD 2021): the Paillier cryptosystem, the
+histogram-based GBDT engine, the SecureBoost vertical federated
+protocol, the four VF²Boost optimizations, every baseline the paper
+compares against, and a benchmark harness that regenerates every table
+and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import FederatedTrainer, VF2BoostConfig, GBDTParams
+    from repro.data import load_dataset, split_features
+    from repro.gbdt import bin_dataset
+
+    data = load_dataset("census")
+    full = bin_dataset(data.train_features, 20)
+    partition = split_features(data.n_features, [data.features_b, data.features_a])
+    parties = [full.subset_features(partition.columns_of(p)) for p in (0, 1)]
+    config = VF2BoostConfig.vf2boost(params=GBDTParams(n_trees=5))
+    result = FederatedTrainer(config).fit(parties, data.train_labels)
+"""
+
+from repro.core.config import VF2BoostConfig
+from repro.core.trainer import FederatedModel, FederatedTrainer, TrainResult
+from repro.crypto import PaillierContext, generate_keypair
+from repro.gbdt import GBDTParams, GBDTTrainer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FederatedModel",
+    "FederatedTrainer",
+    "GBDTParams",
+    "GBDTTrainer",
+    "PaillierContext",
+    "TrainResult",
+    "VF2BoostConfig",
+    "generate_keypair",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Benchmark harness: cost models, experiment runners, table rendering."""
+
+from repro.bench.costmodel import CostModel
+
+__all__ = ["CostModel"]

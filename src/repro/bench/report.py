@@ -1,0 +1,65 @@
+"""Plain-text table rendering for benchmark output.
+
+Every benchmark prints its reproduction of a paper table/figure through
+these helpers so the output format is uniform and diffable against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_seconds", "format_ratio", "format_bytes"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration like the paper's tables (integer seconds)."""
+    if seconds >= 100:
+        return f"{seconds:.0f}"
+    if seconds >= 1:
+        return f"{seconds:.1f}"
+    return f"{seconds:.3f}"
+
+
+def format_ratio(ratio: float) -> str:
+    """Render a speedup/slowdown factor."""
+    return f"{ratio:.2f}x"
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human-readable byte volume."""
+    units = ["B", "KB", "MB", "GB", "TB"]
+    value = float(n_bytes)
+    for unit in units:
+        if value < 1024 or unit == units[-1]:
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.1f}TB"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column names.
+        rows: row cells; any object with a ``str`` form.
+        title: optional heading line.
+    """
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

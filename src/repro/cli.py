@@ -1,0 +1,91 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro table1
+    python -m repro table2 fig7
+    python -m repro all
+    python -m repro list
+
+Each experiment prints its rendered table; heavier experiments accept
+the same keyword knobs through the library API (see
+``repro.bench.experiments``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments
+from repro.gbdt.params import GBDTParams
+
+__all__ = ["main", "EXPERIMENTS"]
+
+_FAST = GBDTParams(n_trees=6, n_layers=5, n_bins=16)
+
+
+def _fig10() -> str:
+    return experiments.run_fig10(params=_FAST)[1]
+
+
+def _table4() -> str:
+    return experiments.run_table4(params=_FAST)[1]
+
+
+def _table6() -> str:
+    return experiments.run_table6(params=_FAST)[1]
+
+
+EXPERIMENTS: dict[str, tuple[str, object]] = {
+    "fig7": ("crypto operation throughputs (measured)", experiments.run_fig7),
+    "table1": ("root-node ablation (analytic)", lambda: experiments.run_table1()[1]),
+    "table2": ("per-tree ablation (analytic)", lambda: experiments.run_table2()[1]),
+    "table3": ("dataset inventory", experiments.run_table3),
+    "fig10": ("convergence vs time, census/a9a (counted)", _fig10),
+    "table4": ("end-to-end large datasets (hybrid)", _table4),
+    "table5": ("worker scalability (analytic)", lambda: experiments.run_table5()[1]),
+    "table6": ("party scalability (hybrid)", _table6),
+    "util": ("§6.2 resource utilization (analytic)", lambda: experiments.run_resource_utilization()[1]),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point. Returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate VF2Boost (SIGMOD 2021) evaluation artifacts.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["list"],
+        help="experiment names (see 'list'), or 'all'",
+    )
+    args = parser.parse_args(argv)
+
+    requested = args.experiments or ["list"]
+    if requested == ["list"] or "list" in requested:
+        print("available experiments:")
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"  {name:<8} {description}")
+        print("  all      run every experiment")
+        return 0
+    if "all" in requested:
+        requested = list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in requested:
+        __, runner = EXPERIMENTS[name]
+        start = time.perf_counter()
+        print(f"==> {name}")
+        print(runner())
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

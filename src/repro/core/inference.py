@@ -1,0 +1,118 @@
+"""Federated inference: joint prediction over vertically partitioned data.
+
+At serving time the model is as distributed as the features: Party B
+can evaluate its own splits, but whenever an instance reaches a node
+owned by a passive party, only that party can route it. The protocol
+below is the standard one (and what SecureBoost deploys): B drives the
+traversal layer by layer and sends the owning party *batched routing
+queries* — a node id plus the set of instances currently sitting on
+it — receiving a left/right bitmap back. The owner learns only which
+instances reached its node (the same information training's instance
+placement already revealed); B never learns the owner's feature or
+threshold.
+
+Every message flows through a :class:`RecordingChannel`, so serving
+traffic is as accountable as training traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.trainer import ACTIVE, FederatedModel
+from repro.fed.channel import RecordingChannel
+from repro.fed.messages import RouteAnswer, RouteQuery
+
+__all__ = ["FederatedPredictor"]
+
+
+class FederatedPredictor:
+    """Drives joint prediction across parties through a channel.
+
+    Args:
+        model: the trained federated model (B's copy: passive parties'
+            thresholds unknown, but owners/bin indices present).
+        party_codes: per-party bin-code matrices of the instances to
+            score, indexed by owner-local feature ids.
+        channel: message channel for routing queries (a fresh
+            :class:`RecordingChannel` is created when omitted).
+    """
+
+    def __init__(
+        self,
+        model: FederatedModel,
+        party_codes: dict[int, np.ndarray],
+        channel: RecordingChannel | None = None,
+        key_bits: int = 2048,
+    ) -> None:
+        self.model = model
+        self.party_codes = party_codes
+        self.channel = channel or RecordingChannel(key_bits, active_party=ACTIVE)
+        self.routing_queries = 0
+
+    def predict_margin(self) -> np.ndarray:
+        """Raw margins for every instance, via the routing protocol."""
+        n = next(iter(self.party_codes.values())).shape[0]
+        margins = np.full(n, self.model.base_score, dtype=np.float64)
+        for tree_index, tree in enumerate(self.model.trees):
+            margins += self.model.learning_rate * self._predict_tree(
+                tree_index, tree, n
+            )
+        return margins
+
+    def _predict_tree(self, tree_index: int, tree, n: int) -> np.ndarray:
+        """Layer-wise traversal with batched cross-party routing."""
+        out = np.zeros(n, dtype=np.float64)
+        # node_id -> instance indices currently on the node.
+        frontier: dict[int, np.ndarray] = {0: np.arange(n, dtype=np.int64)}
+        while frontier:
+            next_frontier: dict[int, np.ndarray] = {}
+            for node_id, rows in frontier.items():
+                node = tree.nodes[node_id]
+                if node.is_leaf:
+                    out[rows] = node.weight
+                    continue
+                goes_left = self._route(tree_index, node, rows)
+                left_rows = rows[goes_left]
+                right_rows = rows[~goes_left]
+                if left_rows.size:
+                    next_frontier[node.left_child] = left_rows
+                if right_rows.size:
+                    next_frontier[node.right_child] = right_rows
+            frontier = next_frontier
+        return out
+
+    def _route(self, tree_index: int, node, rows: np.ndarray) -> np.ndarray:
+        """Left/right decision for a batch of instances at one node."""
+        if node.owner == ACTIVE:
+            codes = self.party_codes[ACTIVE]
+            return codes[rows, node.feature] <= node.bin_index
+        # Cross-party: ask the owner through the channel.
+        self.routing_queries += 1
+        self.channel.send(
+            RouteQuery(
+                ACTIVE,
+                node.owner,
+                tree_index=tree_index,
+                node_id=node.node_id,
+                instance_ids=rows,
+            )
+        )
+        query = self.channel.receive(ACTIVE, node.owner)
+        assert isinstance(query, RouteQuery)
+        owner_codes = self.party_codes[node.owner]
+        goes_left = (
+            owner_codes[query.instance_ids, node.feature] <= node.bin_index
+        )
+        self.channel.send(
+            RouteAnswer(
+                node.owner,
+                ACTIVE,
+                tree_index=tree_index,
+                node_id=node.node_id,
+                goes_left=goes_left,
+            )
+        )
+        answer = self.channel.receive(node.owner, ACTIVE)
+        assert isinstance(answer, RouteAnswer)
+        return answer.goes_left

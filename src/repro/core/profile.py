@@ -1,0 +1,130 @@
+"""Analytic workload profiles — paper-scale traces without data.
+
+Tables 1 and 2 run at 2.5M-10M instances and 50K features; generating
+and training on such data in pure Python is out of reach, but the
+*workload trace* the protocol scheduler consumes is fully determined by
+the dataset shape, the tree geometry, and where the best splits land.
+This module synthesizes those traces in closed form:
+
+* every tree is grown full for ``L`` layers (the paper's trees are
+  depth-limited, not gain-limited, on these dense synthetic workloads);
+* a node's best split belongs to Party B with probability
+  ``D_B / (D_A + D_B)`` — the paper's own expectation (§4.2
+  "Discussion"), realized deterministically so results are exact and
+  repeatable: out of every layer's nodes, the ``round(ratio * count)``
+  first nodes go to B;
+* dirty nodes under optimism are exactly the passive-owned nodes.
+
+Counted-mode runs on downscaled data validate these synthetic traces:
+the trainer-produced split ratios track ``D_B / (D_A + D_B)`` as the
+paper reports (Table 2, column 2).
+"""
+
+from __future__ import annotations
+
+from repro.core.trace import LayerTrace, NodeTrace, PartyShape, TraceLog, TreeTrace
+
+__all__ = ["analytic_trace"]
+
+
+def analytic_trace(
+    n_instances: int,
+    features_active: int,
+    features_passive: list[int],
+    density: float,
+    n_bins: int,
+    n_layers: int,
+    n_trees: int = 1,
+    n_exponents: int = 6,
+    active_split_ratio: float | None = None,
+) -> TraceLog:
+    """Synthesize a :class:`TraceLog` from a dataset descriptor.
+
+    Args:
+        n_instances: rows ``N``.
+        features_active: Party B's column count ``D_B``.
+        features_passive: column count per passive party.
+        density: fraction of non-zero cells (drives ``d``).
+        n_bins: histogram bins per feature ``s``.
+        n_layers: tree layers ``L`` (the paper uses 7).
+        n_trees: boosting rounds to synthesize.
+        n_exponents: distinct encoding exponents ``E`` (paper: 4-8).
+        active_split_ratio: probability a node's best split belongs to
+            Party B. Defaults to ``D_B / (D_A + D_B)``.
+    """
+    if n_layers < 2:
+        raise ValueError("n_layers must be >= 2")
+    total_features = features_active + sum(features_passive)
+    if active_split_ratio is None:
+        active_split_ratio = (
+            features_active / total_features if total_features else 1.0
+        )
+    if not 0.0 <= active_split_ratio <= 1.0:
+        raise ValueError("active_split_ratio must be in [0, 1]")
+
+    active_shape = PartyShape(
+        n_features=features_active,
+        nnz_per_instance=density * features_active,
+        n_bins=n_bins,
+    )
+    passive_shapes = [
+        PartyShape(
+            n_features=count,
+            nnz_per_instance=density * count,
+            n_bins=n_bins,
+        )
+        for count in features_passive
+    ]
+    trace = TraceLog(
+        n_instances=n_instances,
+        active_shape=active_shape,
+        passive_shapes=passive_shapes,
+    )
+    n_passive = len(features_passive)
+    passive_weights = [count / max(1, sum(features_passive)) for count in features_passive]
+
+    for t in range(n_trees):
+        tree = TreeTrace(
+            tree_index=t, n_instances=n_instances, n_exponents=n_exponents
+        )
+        for depth in range(n_layers - 1):
+            n_nodes = 2**depth
+            per_node = n_instances // n_nodes
+            layer = LayerTrace(depth=depth)
+            owned_by_b = round(active_split_ratio * n_nodes)
+            for k in range(n_nodes):
+                if k < owned_by_b:
+                    owner = 0
+                else:
+                    # Spread passive-owned nodes across the A parties
+                    # proportionally to their feature counts.
+                    slot = (k - owned_by_b) % max(1, n_passive)
+                    owner = 1 + _weighted_slot(slot, n_passive, passive_weights)
+                layer.nodes.append(
+                    NodeTrace(
+                        node_id=2**depth - 1 + k,
+                        n_instances=per_node,
+                        owner=owner,
+                        dirty=owner != 0,
+                        # Two near-independent balanced splits disagree on
+                        # about half the rows in expectation.
+                        misplaced_fraction=0.5,
+                    )
+                )
+            tree.layers.append(layer)
+        trace.trees.append(tree)
+    return trace
+
+
+def _weighted_slot(slot: int, n_passive: int, weights: list[float]) -> int:
+    """Map a round-robin slot to a passive party index (0-based)."""
+    if n_passive <= 1:
+        return 0
+    # Cumulative-weight bucketing over a unit circle of slots.
+    position = (slot + 0.5) / n_passive
+    cumulative = 0.0
+    for index, weight in enumerate(weights):
+        cumulative += weight
+        if position <= cumulative:
+            return index
+    return n_passive - 1

@@ -1,0 +1,574 @@
+"""Protocol scheduling: workload traces -> simulated federated time.
+
+This module turns a :class:`~repro.core.trace.TraceLog` (from a real
+training run or an analytic profile) into a discrete-event schedule
+under a :class:`~repro.bench.costmodel.CostModel` and a
+:class:`~repro.fed.cluster.ClusterSpec`.  The four §4/§5 optimizations
+change only the *task graph*:
+
+* **blaster encryption** pipelines Enc / CipherComm / BuildHistA of the
+  root in batches (Figure 4 bottom);
+* **re-ordered accumulation** changes the per-addend cost from
+  ``T_HADD + (E-1)/E * T_SCALE`` to ``T_HADD`` plus ``E-1`` scalings
+  per bin (§5.1);
+* **optimistic node-splitting** lets Party B split ahead on its own
+  candidates so FindSplitA(l) overlaps BuildHistA(l+1); children of
+  dirty nodes are re-done after the validation notice while *clean*
+  children stream ahead — the paper's sub-task slicing (Figure 6) is
+  modeled as a clean/dirty two-part flow per layer;
+* **histogram packing** divides the A->B histogram bytes and the
+  decryption count by the pack width ``t`` at an
+  ``O(bins * (T_HADD + T_SMUL))`` packing cost on Party A (§5.2).
+
+Party compute pools are modeled as one lane whose task durations are
+``work / effective_lanes`` — exact for the divisible crypto workloads
+involved — so resource utilization maps directly onto the paper's CPU
+utilization metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bench.costmodel import CostModel
+from repro.core.config import VF2BoostConfig
+from repro.core.trace import TraceLog, TreeTrace
+from repro.fed.cluster import ClusterSpec
+from repro.fed.simtime import SimEngine, SimTask
+
+__all__ = ["ScheduleResult", "ProtocolScheduler"]
+
+#: cap on pipelined batch tasks per tree (engine efficiency, not semantics)
+_MAX_BATCH_TASKS = 128
+
+#: fraction of a dirty subtree's histogram work A speculatively performs
+#: before the abort notice lands (the "price of extra computation", §4.2)
+_SPECULATIVE_WASTE = 0.12
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling one training run.
+
+    Attributes:
+        makespan: total simulated seconds across all trees.
+        per_tree: simulated seconds of each boosting round.
+        phase_totals: busy seconds per phase tag, summed over trees.
+        root_breakdown: tree-0 root-node phase busy times plus the
+            root-node makespan (Table 1's columns).
+        utilization: busy fraction per resource over the run.
+        bytes_per_tree: average public-network bytes per tree.
+        gantt: ASCII Gantt chart of the first tree (diagnostics).
+    """
+
+    makespan: float
+    per_tree: list[float]
+    phase_totals: dict[str, float]
+    root_breakdown: dict[str, float]
+    utilization: dict[str, float]
+    bytes_per_tree: float
+    gantt: str = ""
+
+
+@dataclass
+class _PartyWork:
+    """Pre-computed per-passive-party constants for one run."""
+
+    index: int
+    d: float  # nnz per instance
+    n_features: int
+    n_bins: int
+
+    @property
+    def bins_per_node(self) -> int:
+        """Cipher bins per node (grad + hess histograms)."""
+        return 2 * self.n_features * self.n_bins
+
+
+@dataclass
+class _HistPart:
+    """A fraction of one layer's passive-party histograms."""
+
+    task: SimTask
+    fraction: float  # of the layer's histogram/instance mass
+
+
+class ProtocolScheduler:
+    """Prices a workload trace under a config, cost model and cluster.
+
+    Args:
+        config: protocol variant (optimization flags, crypto mode, ...).
+        cost: unit-cost model.
+        cluster: hardware/topology description.
+    """
+
+    def __init__(
+        self,
+        config: VF2BoostConfig,
+        cost: CostModel,
+        cluster: ClusterSpec,
+    ) -> None:
+        self.config = config
+        self.cost = cost
+        self.cluster = cluster
+        self._mock = config.crypto_mode == "mock"
+
+    # ------------------------------------------------------------------
+    # Cost primitives
+    # ------------------------------------------------------------------
+    def _lanes(self) -> int:
+        return self.cluster.compute_lanes
+
+    def _cipher_bytes(self) -> int:
+        return self.cost.plain_bytes if self._mock else self.cost.cipher_bytes
+
+    def _enc_cost(self) -> float:
+        return 0.0 if self._mock else self.cost.enc()
+
+    def _dec_cost(self) -> float:
+        return 0.0 if self._mock else self.cost.dec()
+
+    def _add_cost(self, n_exponents: int) -> float:
+        """Per-addend cost of BuildHistA under the current flags."""
+        if self._mock:
+            return self.cost.plain_accum()
+        if self.config.pair_packing:
+            # Fixed exponent by construction: never a scaling.
+            return self.cost.hadd()
+        if self.config.reordered_accumulation:
+            return self.cost.hadd()
+        return self.cost.naive_add(n_exponents)
+
+    def _stat_factor(self) -> int:
+        """Ciphers per instance statistic: 1 with pair packing, else 2."""
+        return 1 if (self.config.pair_packing and not self._mock) else 2
+
+    def _bins(self, party: _PartyWork) -> int:
+        """Cipher bins per node under the current flags."""
+        return party.n_features * party.n_bins * self._stat_factor()
+
+    def _reorder_finalize(self, bins: float, n_exponents: int) -> float:
+        """Workspace merge cost: ``E - 1`` scalings per bin (§5.1)."""
+        if self._mock or not self.config.reordered_accumulation:
+            return 0.0
+        return bins * (n_exponents - 1) * self.cost.scale()
+
+    def _pack_width(self) -> int:
+        """Pack width ``t`` from the key and limb sizes."""
+        return max(1, (self.config.key_bits - 2) // self.config.limb_bits)
+
+    def _packs_per_node(self, party: _PartyWork) -> int:
+        """Packed ciphers per node: per-feature grad + hess groups."""
+        t = self._pack_width()
+        return party.n_features * 2 * math.ceil(party.n_bins / t)
+
+    def _comm_duration(self, n_bytes: float) -> float:
+        return self.cluster.wan_latency + n_bytes / self.cluster.wan_bandwidth
+
+    def _packing_on(self) -> bool:
+        return self.config.histogram_packing and not self._mock
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def schedule(self, trace: TraceLog) -> ScheduleResult:
+        """Schedule every tree of a trace; see :class:`ScheduleResult`."""
+        per_tree: list[float] = []
+        phase_totals: dict[str, float] = {}
+        utilization_busy: dict[str, float] = {}
+        root_breakdown: dict[str, float] = {}
+        total_bytes = 0.0
+        gantt = ""
+        parties = [
+            _PartyWork(p + 1, shape.nnz_per_instance, shape.n_features, shape.n_bins)
+            for p, shape in enumerate(trace.passive_shapes)
+        ]
+        for index, tree in enumerate(trace.trees):
+            engine = SimEngine()
+            breakdown, tree_bytes = self._schedule_tree(engine, trace, tree, parties)
+            per_tree.append(engine.makespan)
+            total_bytes += tree_bytes
+            for phase, seconds in engine.phase_breakdown().items():
+                phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
+            for name, resource in engine.resources.items():
+                utilization_busy[name] = (
+                    utilization_busy.get(name, 0.0) + resource.busy_time
+                )
+            if index == 0:
+                root_breakdown = breakdown
+                gantt = engine.gantt()
+        makespan = sum(per_tree)
+        utilization = {
+            name: busy / makespan if makespan else 0.0
+            for name, busy in utilization_busy.items()
+        }
+        return ScheduleResult(
+            makespan=makespan,
+            per_tree=per_tree,
+            phase_totals=phase_totals,
+            root_breakdown=root_breakdown,
+            utilization=utilization,
+            bytes_per_tree=total_bytes / max(1, len(trace.trees)),
+            gantt=gantt,
+        )
+
+    # ------------------------------------------------------------------
+    # One tree
+    # ------------------------------------------------------------------
+    def _schedule_tree(
+        self,
+        engine: SimEngine,
+        trace: TraceLog,
+        tree: TreeTrace,
+        parties: list[_PartyWork],
+    ) -> tuple[dict[str, float], float]:
+        config = self.config
+        lanes = self._lanes()
+        n = tree.n_instances
+        n_exponents = tree.n_exponents if not self._mock else 1
+        cipher_bytes = self._cipher_bytes()
+        shape_b = trace.active_shape
+        bytes_sent = 0.0
+
+        engine.add_resource("B")
+        engine.add_resource("B.dec")
+        # All cross-party traffic funnels through Party B's gateway
+        # queues, so its uplink and downlink are shared resources —
+        # with more passive parties the same links carry more traffic
+        # (the mild multi-party slowdown of Table 6).
+        engine.add_resource("wan.out")
+        engine.add_resource("wan.in")
+        for party in parties:
+            engine.add_resource(f"A{party.index}")
+
+        # ---------------- Root: Enc -> CipherComm -> BuildHistA --------
+        stat = self._stat_factor()
+        enc_work = stat * n * self._enc_cost()
+        gh_bytes = stat * n * cipher_bytes
+        if config.blaster_encryption and not self._mock:
+            n_batches = min(
+                _MAX_BATCH_TASKS, max(1, math.ceil(n / config.blaster_batch_size))
+            )
+        else:
+            n_batches = 1
+        build_root: dict[int, SimTask] = {}
+        last_enc: SimTask | None = None
+        for b in range(n_batches):
+            enc_task = engine.submit(
+                "B", enc_work / n_batches / lanes, name=f"enc[{b}]", phase="Enc"
+            )
+            last_enc = enc_task
+            for party in parties:
+                comm = engine.submit(
+                    "wan.out",
+                    self._comm_duration(gh_bytes / n_batches),
+                    deps=[enc_task],
+                    name=f"gh[{b}]",
+                    phase="CipherComm",
+                )
+                build_work = stat * n * party.d * self._add_cost(n_exponents) / n_batches
+                build_root[party.index] = engine.submit(
+                    f"A{party.index}",
+                    build_work / lanes,
+                    deps=[comm],
+                    name=f"hist0[{b}]",
+                    phase="BuildHistA",
+                )
+        bytes_sent += gh_bytes * len(parties)
+        for party in parties:
+            finalize = self._reorder_finalize(self._bins(party), n_exponents)
+            if finalize:
+                build_root[party.index] = engine.submit(
+                    f"A{party.index}",
+                    finalize / lanes,
+                    deps=[build_root[party.index]],
+                    name="merge0",
+                    phase="BuildHistA",
+                )
+        root_breakdown = {
+            "Enc": enc_work / lanes,
+            "Comm": self._comm_duration(gh_bytes),
+            "HAdd": max(
+                (
+                    (
+                        stat * n * party.d * self._add_cost(n_exponents)
+                        + self._reorder_finalize(self._bins(party), n_exponents)
+                    )
+                    / lanes
+                    for party in parties
+                ),
+                default=0.0,
+            ),
+        }
+
+        # ---------------- Layer loop -----------------------------------
+        # Per-party histogram availability, possibly in clean/dirty parts.
+        hist_parts: dict[int, list[_HistPart]] = {
+            party.index: [_HistPart(build_root[party.index], 1.0)]
+            for party in parties
+        }
+        find_b_anchor = engine.submit(
+            "B", 0.0, deps=[last_enc] if last_enc else None, name="encdone", phase="Enc"
+        )
+
+        for li, layer in enumerate(tree.layers):
+            n_nodes = max(1, len(layer.nodes))
+            layer_instances = layer.n_instances
+
+            # Party B: own histogram build + candidate search (plaintext,
+            # subtraction trick beyond the root).
+            subtraction = 1.0 if layer.depth == 0 else 0.55
+            find_b_work = (
+                2
+                * layer_instances
+                * shape_b.nnz_per_instance
+                * self.cost.plain_accum()
+                * subtraction
+                + n_nodes * shape_b.histogram_bins * self.cost.split_bin()
+            )
+            find_b = engine.submit(
+                "B",
+                find_b_work / lanes,
+                deps=[find_b_anchor],
+                name=f"findB{layer.depth}",
+                phase="FindSplitB",
+            )
+
+            # Optimistic: split ahead on B's candidates, ship placements.
+            split_opt: SimTask | None = None
+            opt_placement: dict[int, SimTask] = {}
+            if config.optimistic_split:
+                split_opt = engine.submit(
+                    "B",
+                    self.cluster.round_overhead,
+                    deps=[find_b],
+                    name=f"opt{layer.depth}",
+                    phase="SplitNode",
+                )
+                for party in parties:
+                    opt_placement[party.index] = engine.submit(
+                        "wan.out",
+                        self._comm_duration(layer_instances / 8),
+                        deps=[split_opt],
+                        name=f"optplace{layer.depth}",
+                        phase="SplitNode",
+                    )
+                bytes_sent += layer_instances / 8 * len(parties)
+
+            # A -> B histogram flow, one (pack ->) comm -> dec chain per
+            # histogram part, so clean parts stream ahead of dirty redos.
+            # Decryption is sliced so the first dirty discoveries (and
+            # their abort notices) fire early in the dec window, the way
+            # the paper's per-node sub-tasks do (Figure 6).
+            find_a_tasks: list[SimTask] = []
+            notice_anchor: SimTask | None = None
+            for party in parties:
+                ciphers_full = (
+                    n_nodes * self._packs_per_node(party)
+                    if self._packing_on()
+                    else n_nodes * self._bins(party)
+                )
+                for part in hist_parts[party.index]:
+                    frac = part.fraction
+                    ready = part.task
+                    # Intra-party histogram aggregation across worker
+                    # shards (§3.2): local histograms travel the LAN so
+                    # each worker owns the global bins of its feature
+                    # range. Grows with worker count — the effect that
+                    # caps Table 5's scaling.
+                    agg_seconds = self.cluster.aggregation_seconds(
+                        n_nodes * self._bins(party) * frac * self._cipher_bytes(),
+                        nnz_bytes=(
+                            stat
+                            * layer_instances
+                            * frac
+                            * party.d
+                            * self._cipher_bytes()
+                        ),
+                    )
+                    if agg_seconds:
+                        ready = engine.submit(
+                            f"A{party.index}",
+                            agg_seconds,
+                            deps=[ready],
+                            name=f"agg{layer.depth}",
+                            phase="Aggregate",
+                        )
+                    if self._packing_on():
+                        pack_work = (
+                            n_nodes
+                            * self._bins(party)
+                            * frac
+                            * (self.cost.hadd() + self.cost.smul_small())
+                        )
+                        ready = engine.submit(
+                            f"A{party.index}",
+                            pack_work / lanes,
+                            deps=[ready],
+                            name=f"pack{layer.depth}",
+                            phase="Pack",
+                        )
+                    part_bytes = ciphers_full * frac * cipher_bytes
+                    comm = engine.submit(
+                        "wan.in",
+                        self._comm_duration(part_bytes),
+                        deps=[ready],
+                        name=f"histcomm{layer.depth}",
+                        phase="CipherComm",
+                    )
+                    bytes_sent += part_bytes
+                    dec_work = ciphers_full * frac * self._dec_cost() + (
+                        n_nodes * self._bins(party) * frac * self.cost.split_bin()
+                    )
+                    slices = (0.25, 0.75) if notice_anchor is None else (1.0,)
+                    prev = comm
+                    for share in slices:
+                        prev = engine.submit(
+                            "B.dec",
+                            dec_work * share / lanes,
+                            deps=[prev],
+                            name=f"findA{layer.depth}",
+                            phase="FindSplitA",
+                        )
+                        if notice_anchor is None:
+                            notice_anchor = prev
+                    find_a_tasks.append(prev)
+            find_a_last = (
+                find_a_tasks[-1]
+                if find_a_tasks
+                else engine.submit("B", 0.0, deps=[find_b], phase="FindSplitA")
+            )
+            if notice_anchor is None:
+                notice_anchor = find_a_last
+
+            # Joint split decision; placements for the non-optimistic path.
+            # Joint decision; in the optimistic protocol the layer's
+            # coordination cost was already paid by the optimistic split.
+            split_cost = (
+                1e-4 if config.optimistic_split else self.cluster.round_overhead
+            )
+            split_done = engine.submit(
+                "B",
+                split_cost,
+                deps=[find_b] + find_a_tasks,
+                name=f"split{layer.depth}",
+                phase="SplitNode",
+            )
+            placement_tasks: dict[int, SimTask] = {}
+            for party in parties:
+                if config.optimistic_split:
+                    dirty_bytes = layer.dirty_instances / 8
+                    if dirty_bytes:
+                        engine.submit(
+                            "wan.out",
+                            self._comm_duration(dirty_bytes),
+                            deps=[split_done],
+                            name=f"fixplace{layer.depth}",
+                            phase="SplitNode",
+                        )
+                        bytes_sent += dirty_bytes
+                    placement_tasks[party.index] = opt_placement[party.index]
+                else:
+                    task = engine.submit(
+                        "wan.out",
+                        self._comm_duration(layer_instances / 8),
+                        deps=[split_done],
+                        name=f"place{layer.depth}",
+                        phase="SplitNode",
+                    )
+                    bytes_sent += layer_instances / 8
+                    placement_tasks[party.index] = task
+
+            find_b_anchor = split_opt if split_opt is not None else split_done
+
+            # Schedule the *next* layer's BuildHistA.
+            if li + 1 >= len(tree.layers):
+                break
+            next_layer = tree.layers[li + 1]
+            next_instances = next_layer.n_instances
+            dirty_frac = (
+                layer.dirty_instances / layer_instances if layer_instances else 0.0
+            )
+            dirty_frac = min(1.0, dirty_frac)
+            for party in parties:
+                parts: list[_HistPart] = []
+                add = self._add_cost(n_exponents)
+                finalize = self._reorder_finalize(
+                    len(next_layer.nodes) * self._bins(party), n_exponents
+                )
+                if config.optimistic_split and dirty_frac > 0:
+                    clean_work = (
+                        stat * next_instances * (1 - dirty_frac) * party.d * add
+                        + finalize * (1 - dirty_frac)
+                    )
+                    clean = engine.submit(
+                        f"A{party.index}",
+                        clean_work / lanes,
+                        deps=[placement_tasks[party.index]],
+                        name=f"hist{next_layer.depth}c",
+                        phase="BuildHistA",
+                    )
+                    if 1 - dirty_frac > 0:
+                        parts.append(_HistPart(clean, 1 - dirty_frac))
+                    # Speculative work on (unknowingly) dirty children,
+                    # aborted when the notice lands.
+                    waste_work = (
+                        stat
+                        * next_instances
+                        * dirty_frac
+                        * _SPECULATIVE_WASTE
+                        * party.d
+                        * add
+                    )
+                    waste = engine.submit(
+                        f"A{party.index}",
+                        waste_work / lanes,
+                        deps=[placement_tasks[party.index]],
+                        name=f"spec{next_layer.depth}",
+                        phase="BuildHistA",
+                    )
+                    notice = engine.submit(
+                        "wan.out",
+                        self._comm_duration(64),
+                        deps=[notice_anchor],
+                        name=f"dirty{layer.depth}",
+                        phase="SplitNode",
+                    )
+                    if config.incremental_dirty_redo:
+                        # §8 future work: move only the misplaced rows —
+                        # one cipher removal plus one insertion each.
+                        misplaced = layer.misplaced_instances
+                        redo_work = (
+                            2 * stat * misplaced * party.d * add
+                            + finalize * dirty_frac
+                        )
+                    else:
+                        redo_work = (
+                            stat * next_instances * dirty_frac * party.d * add
+                            + finalize * dirty_frac
+                        )
+                    redo = engine.submit(
+                        f"A{party.index}",
+                        redo_work / lanes,
+                        deps=[waste, notice],
+                        name=f"redo{next_layer.depth}",
+                        phase="BuildHistA",
+                    )
+                    parts.append(_HistPart(redo, dirty_frac))
+                else:
+                    build_work = stat * next_instances * party.d * add + finalize
+                    build = engine.submit(
+                        f"A{party.index}",
+                        build_work / lanes,
+                        deps=[placement_tasks[party.index]],
+                        name=f"hist{next_layer.depth}",
+                        phase="BuildHistA",
+                    )
+                    parts.append(_HistPart(build, 1.0))
+                hist_parts[party.index] = parts
+
+        root_breakdown["RootMakespan"] = (
+            max((task.end for task in build_root.values()), default=0.0)
+        )
+        return root_breakdown, bytes_sent

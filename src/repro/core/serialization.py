@@ -1,0 +1,156 @@
+"""Model persistence: per-party views of a federated model.
+
+A federated model cannot be serialized as one artifact without leaking
+split information: thresholds and feature identities of Party A's
+splits must stay with Party A (§3.2 — "only one party knows the actual
+split information"). We therefore save a *shared skeleton* (structure,
+owners, bin indices, leaf weights) plus an *owner-private sidecar* per
+party holding that party's thresholds and local feature ids.
+
+The JSON layout is stable and versioned so saved models survive
+library upgrades — the production-friendliness requirement of §3.3.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.core.trainer import FederatedModel
+from repro.gbdt.tree import DecisionTree, TreeNode
+
+__all__ = [
+    "model_to_payloads",
+    "model_from_payloads",
+    "save_model",
+    "load_model",
+    "FORMAT_VERSION",
+]
+
+FORMAT_VERSION = 1
+
+
+def model_to_payloads(model: FederatedModel) -> dict[str, Any]:
+    """Split a model into the shared skeleton and per-owner sidecars.
+
+    Returns:
+        ``{"shared": ..., "private": {owner_id: sidecar}}`` where the
+        shared part contains no feature ids or thresholds of any party
+        and each sidecar contains only its owner's split details.
+    """
+    shared_trees = []
+    private: dict[int, dict[str, Any]] = {}
+    for t, tree in enumerate(model.trees):
+        shared_nodes = []
+        for node in sorted(tree.nodes.values(), key=lambda n: n.node_id):
+            shared_nodes.append(
+                {
+                    "id": node.node_id,
+                    "depth": node.depth,
+                    "leaf": node.is_leaf,
+                    "weight": node.weight if node.is_leaf else 0.0,
+                    "owner": None if node.is_leaf else node.owner,
+                }
+            )
+            if not node.is_leaf:
+                sidecar = private.setdefault(node.owner, {"splits": {}})
+                sidecar["splits"][f"{t}:{node.node_id}"] = {
+                    "feature": node.feature,
+                    "bin": node.bin_index,
+                    "threshold": None
+                    if math.isnan(node.threshold)
+                    else node.threshold,
+                }
+        shared_trees.append({"nodes": shared_nodes})
+    return {
+        "shared": {
+            "format_version": FORMAT_VERSION,
+            "learning_rate": model.learning_rate,
+            "base_score": model.base_score,
+            "trees": shared_trees,
+        },
+        "private": private,
+    }
+
+
+def model_from_payloads(
+    shared: dict[str, Any], private: dict[int, dict[str, Any]]
+) -> FederatedModel:
+    """Reassemble a model from the skeleton and any available sidecars.
+
+    Sidecars may be partial (a party reconstructing its own view); the
+    missing owners' thresholds stay ``nan`` and their features stay
+    set — prediction through :meth:`DecisionTree.predict_federated`
+    only needs the bin index and owner-local feature id, which come
+    from the matching sidecar at the owning party.
+
+    Raises:
+        ValueError: on unknown format versions.
+    """
+    version = shared.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version: {version!r}")
+    model = FederatedModel(
+        learning_rate=shared["learning_rate"], base_score=shared["base_score"]
+    )
+    for t, tree_payload in enumerate(shared["trees"]):
+        tree = DecisionTree(nodes={})
+        for node_payload in tree_payload["nodes"]:
+            node = TreeNode(
+                node_id=node_payload["id"],
+                depth=node_payload["depth"],
+                is_leaf=node_payload["leaf"],
+                weight=node_payload["weight"],
+            )
+            if not node.is_leaf:
+                node.owner = node_payload["owner"]
+                key = f"{t}:{node.node_id}"
+                sidecar = private.get(node.owner, {})
+                split = sidecar.get("splits", {}).get(key)
+                if split is not None:
+                    node.feature = split["feature"]
+                    node.bin_index = split["bin"]
+                    node.threshold = (
+                        float("nan")
+                        if split["threshold"] is None
+                        else split["threshold"]
+                    )
+            tree.nodes[node.node_id] = node
+        model.trees.append(tree)
+    return model
+
+
+def save_model(model: FederatedModel, shared_path: str, private_dir: str) -> list[str]:
+    """Write the skeleton and one sidecar file per owning party.
+
+    Returns:
+        Paths of every file written (shared first).
+    """
+    import pathlib
+
+    payloads = model_to_payloads(model)
+    shared_file = pathlib.Path(shared_path)
+    shared_file.parent.mkdir(parents=True, exist_ok=True)
+    shared_file.write_text(json.dumps(payloads["shared"], indent=1))
+    written = [str(shared_file)]
+    sidecar_dir = pathlib.Path(private_dir)
+    sidecar_dir.mkdir(parents=True, exist_ok=True)
+    for owner, sidecar in payloads["private"].items():
+        path = sidecar_dir / f"party{owner}.json"
+        path.write_text(json.dumps(sidecar, indent=1))
+        written.append(str(path))
+    return written
+
+
+def load_model(shared_path: str, sidecar_paths: list[str]) -> FederatedModel:
+    """Load the skeleton plus any sidecars the caller is entitled to."""
+    import pathlib
+
+    shared = json.loads(pathlib.Path(shared_path).read_text())
+    private: dict[int, dict[str, Any]] = {}
+    for path in sidecar_paths:
+        file = pathlib.Path(path)
+        owner = int(file.stem.removeprefix("party"))
+        private[owner] = json.loads(file.read_text())
+    return model_from_payloads(shared, private)

@@ -1,0 +1,634 @@
+"""The vertical federated GBDT trainer (SecureBoost protocol + VF²Boost).
+
+Runs the full protocol of §3.2 between one active party (Party B, the
+label holder) and one or more passive parties (Party A's):
+
+1. Party B computes per-instance gradients/hessians, encrypts them and
+   ships them to every passive party (in blaster batches when enabled);
+2. every party builds per-node histograms over its own columns —
+   passive parties homomorphically, with or without re-ordered
+   accumulation;
+3. passive parties transfer their histograms (packed or raw) to B, who
+   decrypts them and picks the global best split per node, learning at
+   most a *bin index* about a passive party's winning feature;
+4. the split owner materializes the instance placement and the bitmap
+   is synchronized; leaf weights are computed by B.
+
+Two crypto modes share this exact control flow:
+
+* ``"real"`` — every Paillier operation is physically executed
+  (tests, examples, small datasets);
+* ``"counted"`` / ``"mock"`` — histogram arithmetic runs on plaintext
+  (the protocol is lossless, so the model is bit-identical) while the
+  channel receives :class:`CountedCipherPayload` messages carrying the
+  exact cipher counts and byte volumes the real run would ship.
+
+The trainer also fills a :class:`TraceLog` — which party won each
+node, which nodes the optimistic strategy would have dirtied, instance
+counts — that the protocol scheduler prices into simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import VF2BoostConfig
+from repro.core.enc_histogram import (
+    EncryptedHistogram,
+    build_encrypted_histogram,
+    build_pair_histogram,
+    decode_pair_histogram,
+    decrypt_histogram,
+    pack_histogram,
+    unpack_histogram,
+)
+from repro.crypto.pairing import GradHessCodec
+from repro.core.trace import LayerTrace, NodeTrace, PartyShape, TraceLog, TreeTrace
+from repro.crypto.ciphertext import PaillierContext
+from repro.fed.channel import RecordingChannel
+from repro.fed.messages import (
+    CountedCipherPayload,
+    EncryptedGradHessBatch,
+    EncryptedHistogramMessage,
+    InstancePlacement,
+    LeafWeightBroadcast,
+    PackedHistogramMessage,
+    SplitAnswer,
+    SplitDecision,
+    SplitQuery,
+)
+from repro.gbdt.binning import BinnedDataset
+from repro.gbdt.boosting import EvalRecord
+from repro.gbdt.histogram import Histogram, build_histogram
+from repro.gbdt.loss import Loss, get_loss
+from repro.gbdt.metrics import auc
+from repro.gbdt.split import SplitCandidate, find_best_split, leaf_weight
+from repro.gbdt.tree import DecisionTree, partition_instances
+
+__all__ = ["FederatedModel", "FederatedTrainer", "TrainResult"]
+
+ACTIVE = 0  # party id of Party B by repository convention
+
+
+@dataclass
+class FederatedModel:
+    """A federated boosted ensemble over vertically partitioned data.
+
+    Split nodes store *owner-local* feature ids; prediction therefore
+    needs every party's bin codes (see
+    :meth:`repro.gbdt.tree.DecisionTree.predict_federated`).
+    """
+
+    trees: list[DecisionTree] = field(default_factory=list)
+    learning_rate: float = 0.1
+    base_score: float = 0.0
+
+    def predict_margin(self, party_codes: dict[int, np.ndarray]) -> np.ndarray:
+        """Raw margins from per-party bin-code matrices."""
+        n = next(iter(party_codes.values())).shape[0]
+        margins = np.full(n, self.base_score, dtype=np.float64)
+        for tree in self.trees:
+            margins += self.learning_rate * tree.predict_federated(party_codes)
+        return margins
+
+    def split_counts_by_owner(self) -> dict[int, int]:
+        """Number of split nodes owned by each party across the model."""
+        counts: dict[int, int] = {}
+        for tree in self.trees:
+            for node in tree.nodes.values():
+                if not node.is_leaf:
+                    counts[node.owner] = counts.get(node.owner, 0) + 1
+        return counts
+
+
+@dataclass
+class TrainResult:
+    """Everything a training run produces."""
+
+    model: FederatedModel
+    trace: TraceLog
+    history: list[EvalRecord]
+    channel: RecordingChannel
+
+
+class FederatedTrainer:
+    """Orchestrates the vertical federated GBDT protocol.
+
+    Args:
+        config: system configuration (optimization flags, crypto mode...).
+
+    Example:
+        >>> config = VF2BoostConfig.vf2boost(crypto_mode="counted")
+        >>> trainer = FederatedTrainer(config)
+        >>> result = trainer.fit(party_datasets, labels)
+    """
+
+    def __init__(self, config: VF2BoostConfig) -> None:
+        self.config = config
+        self.loss: Loss = get_loss(config.params.objective)
+        self._real = config.crypto_mode == "real"
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        party_datasets: list[BinnedDataset],
+        labels: np.ndarray,
+        valid_party_codes: dict[int, np.ndarray] | None = None,
+        valid_labels: np.ndarray | None = None,
+    ) -> TrainResult:
+        """Train a federated model.
+
+        Args:
+            party_datasets: binned feature matrices, **Party B first**
+                (index 0), then one per passive party. All must share the
+                instance set (post-PSI alignment).
+            labels: Party B's labels.
+            valid_party_codes: optional per-party validation bin codes.
+            valid_labels: labels for the validation set.
+        """
+        labels = np.asarray(labels, dtype=np.float64)
+        n = party_datasets[0].n_instances
+        for dataset in party_datasets:
+            if dataset.n_instances != n:
+                raise ValueError("parties must hold aligned instance sets")
+        if labels.shape[0] != n:
+            raise ValueError("labels must match the instance count")
+        n_passive = len(party_datasets) - 1
+        if n_passive < 1:
+            raise ValueError("need at least one passive party")
+
+        params = self.config.params
+        channel = RecordingChannel(self.config.key_bits, active_party=ACTIVE)
+        context = self._make_context() if self._real else None
+        public_contexts = (
+            {p: context.public_context() for p in range(1, n_passive + 1)}
+            if context is not None
+            else {}
+        )
+
+        trace = TraceLog(
+            n_instances=n,
+            active_shape=PartyShape(
+                party_datasets[0].n_features,
+                party_datasets[0].nnz_per_row(),
+                params.n_bins,
+            ),
+            passive_shapes=[
+                PartyShape(ds.n_features, ds.nnz_per_row(), params.n_bins)
+                for ds in party_datasets[1:]
+            ],
+        )
+
+        base = self.loss.base_score(labels)
+        model = FederatedModel(learning_rate=params.learning_rate, base_score=base)
+        margins = np.full(n, base, dtype=np.float64)
+        history: list[EvalRecord] = []
+        valid_margins = None
+        if valid_party_codes is not None and valid_labels is not None:
+            valid_labels = np.asarray(valid_labels, dtype=np.float64)
+            valid_margins = np.full(valid_labels.shape[0], base, dtype=np.float64)
+
+        for t in range(params.n_trees):
+            gradients, hessians = self.loss.gradients(labels, margins)
+            tree, tree_trace = self._train_tree(
+                t,
+                party_datasets,
+                gradients,
+                hessians,
+                channel,
+                context,
+                public_contexts,
+            )
+            model.trees.append(tree)
+            trace.trees.append(tree_trace)
+            party_codes = {p: ds.codes for p, ds in enumerate(party_datasets)}
+            margins += params.learning_rate * tree.predict_federated(party_codes)
+            record = EvalRecord(
+                tree_index=t, train_loss=self.loss.loss(labels, margins)
+            )
+            if valid_margins is not None:
+                valid_margins += params.learning_rate * tree.predict_federated(
+                    valid_party_codes
+                )
+                record.valid_loss = self.loss.loss(valid_labels, valid_margins)
+                try:
+                    record.valid_auc = auc(valid_labels, valid_margins)
+                except ValueError:
+                    record.valid_auc = None
+            history.append(record)
+        return TrainResult(model=model, trace=trace, history=history, channel=channel)
+
+    # ------------------------------------------------------------------
+    # Per-tree protocol
+    # ------------------------------------------------------------------
+    def _train_tree(
+        self,
+        tree_index: int,
+        party_datasets: list[BinnedDataset],
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+        channel: RecordingChannel,
+        context: PaillierContext | None,
+        public_contexts: dict[int, PaillierContext],
+    ) -> tuple[DecisionTree, TreeTrace]:
+        params = self.config.params
+        n = gradients.shape[0]
+        n_passive = len(party_datasets) - 1
+
+        # Phase 1: gradient statistics encryption and communication.
+        grad_ciphers: list | None = None
+        hess_ciphers: list | None = None
+        pair_codec: GradHessCodec | None = None
+        n_exponents = self.config.exponent_jitter
+        if self._real:
+            if self.config.pair_packing:
+                # Extension: one cipher per instance carrying (g, h, 1).
+                pair_codec = GradHessCodec(
+                    context, self.loss.gradient_bound, max_count=n
+                )
+                self._pair_codec = pair_codec
+                grad_ciphers = [
+                    pair_codec.encrypt_pair(float(g), float(h))
+                    for g, h in zip(gradients, hessians)
+                ]
+                n_exponents = 1
+            else:
+                grad_ciphers = [context.encrypt(float(g)) for g in gradients]
+                hess_ciphers = [context.encrypt(float(h)) for h in hessians]
+                n_exponents = len(
+                    {c.exponent for c in grad_ciphers}
+                    | {c.exponent for c in hess_ciphers}
+                )
+        elif self.config.pair_packing:
+            n_exponents = 1
+        self._ship_gradients(channel, n, n_passive, grad_ciphers, hess_ciphers)
+
+        tree = DecisionTree()
+        tree_trace = TreeTrace(
+            tree_index=tree_index, n_instances=n, n_exponents=n_exponents
+        )
+        all_rows = np.arange(n, dtype=np.int64)
+        node_rows: dict[int, np.ndarray] = {0: all_rows}
+        frontier = [0]
+
+        for depth in range(params.max_depth):
+            layer = LayerTrace(depth=depth)
+            next_frontier: list[int] = []
+            # Each party builds this layer's histograms for its columns.
+            active_hists = {
+                node_id: build_histogram(
+                    party_datasets[ACTIVE], node_rows[node_id], gradients, hessians
+                )
+                for node_id in frontier
+            }
+            passive_hists = self._passive_histograms(
+                party_datasets,
+                frontier,
+                node_rows,
+                gradients,
+                hessians,
+                grad_ciphers,
+                hess_ciphers,
+                channel,
+                context,
+                public_contexts,
+            )
+            for node_id in frontier:
+                rows = node_rows[node_id]
+                node_trace = NodeTrace(node_id=node_id, n_instances=int(rows.size))
+                best_owner, best, active_candidate = self._global_best_split(
+                    active_hists[node_id],
+                    {p: passive_hists[p][node_id] for p in range(1, n_passive + 1)},
+                    int(rows.size),
+                )
+                if best is None:
+                    layer.nodes.append(node_trace)
+                    continue
+                node_trace.owner = best_owner
+                # Dirty under the optimistic strategy: B split ahead with
+                # its own candidate but a passive party's was better.
+                node_trace.dirty = best_owner != ACTIVE
+                if node_trace.dirty:
+                    node_trace.misplaced_fraction = self._misplaced_fraction(
+                        party_datasets, rows, best_owner, best, active_candidate
+                    )
+                layer.nodes.append(node_trace)
+
+                left_rows, right_rows = self._materialize_split(
+                    node_id,
+                    best_owner,
+                    best,
+                    rows,
+                    party_datasets,
+                    tree,
+                    channel,
+                    n_passive,
+                )
+                node_rows[tree.nodes[node_id].left_child] = left_rows
+                node_rows[tree.nodes[node_id].right_child] = right_rows
+                next_frontier.extend(
+                    [tree.nodes[node_id].left_child, tree.nodes[node_id].right_child]
+                )
+            tree_trace.layers.append(layer)
+            frontier = next_frontier
+            if not frontier:
+                break
+
+        # Leaf weights (Equation 1), computed by B and broadcast.
+        weights: dict[int, float] = {}
+        for node in tree.nodes.values():
+            if node.is_leaf:
+                rows = node_rows.get(node.node_id, np.empty(0, dtype=np.int64))
+                if rows.size == 0:
+                    tree.set_leaf_weight(node.node_id, 0.0)
+                    continue
+                weight = leaf_weight(
+                    float(gradients[rows].sum()),
+                    float(hessians[rows].sum()),
+                    params.reg_lambda,
+                )
+                tree.set_leaf_weight(node.node_id, weight)
+                weights[node.node_id] = weight
+        for p in range(1, n_passive + 1):
+            channel.send(LeafWeightBroadcast(ACTIVE, p, weights=weights))
+        return tree, tree_trace
+
+    # ------------------------------------------------------------------
+    # Protocol phases
+    # ------------------------------------------------------------------
+    def _ship_gradients(
+        self,
+        channel: RecordingChannel,
+        n: int,
+        n_passive: int,
+        grad_ciphers,
+        hess_ciphers,
+    ) -> None:
+        """Send encrypted (g, h) to every passive party, batch by batch."""
+        batch = self.config.blaster_batch_size if self.config.blaster_encryption else n
+        pair = self.config.pair_packing
+        for p in range(1, n_passive + 1):
+            for start in range(0, n, batch):
+                stop = min(n, start + batch)
+                if self._real:
+                    channel.send(
+                        EncryptedGradHessBatch(
+                            ACTIVE,
+                            p,
+                            instance_offset=start,
+                            grads=grad_ciphers[start:stop],
+                            hesses=[] if pair else hess_ciphers[start:stop],
+                        )
+                    )
+                else:
+                    channel.send(
+                        CountedCipherPayload(
+                            ACTIVE,
+                            p,
+                            kind="grad_hess",
+                            n_ciphers=(1 if pair else 2) * (stop - start),
+                        )
+                    )
+
+    def _passive_histograms(
+        self,
+        party_datasets,
+        frontier,
+        node_rows,
+        gradients,
+        hessians,
+        grad_ciphers,
+        hess_ciphers,
+        channel,
+        context,
+        public_contexts,
+    ) -> dict[int, dict[int, Histogram]]:
+        """Passive parties build, ship; B decrypts. Returns plain hists."""
+        results: dict[int, dict[int, Histogram]] = {}
+        n_passive = len(party_datasets) - 1
+        for p in range(1, n_passive + 1):
+            dataset = party_datasets[p]
+            per_node: dict[int, Histogram] = {}
+            if self._real:
+                per_node = self._passive_histograms_real(
+                    p,
+                    dataset,
+                    frontier,
+                    node_rows,
+                    grad_ciphers,
+                    hess_ciphers,
+                    channel,
+                    context,
+                    public_contexts[p],
+                )
+            else:
+                cipher_bins = 0
+                for node_id in frontier:
+                    hist = build_histogram(
+                        dataset, node_rows[node_id], gradients, hessians
+                    )
+                    # B must not rely on counts it cannot see.
+                    per_node[node_id] = Histogram(
+                        hist.grad, hist.hess, np.zeros_like(hist.count)
+                    )
+                    per_bin = 1 if self.config.pair_packing else 2
+                    cipher_bins += per_bin * dataset.n_features * dataset.n_bins
+                if self.config.histogram_packing:
+                    # Counted stand-in for the packed wire volume: the
+                    # plaintext space holds ~``(S - 2) / M`` limbs.
+                    t = max(1, (self.config.key_bits - 2) // self.config.limb_bits)
+                    cipher_bins = -(-cipher_bins // t)
+                channel.send(
+                    CountedCipherPayload(
+                        p, ACTIVE, kind="histograms", n_ciphers=cipher_bins
+                    )
+                )
+            results[p] = per_node
+        return results
+
+    def _passive_histograms_real(
+        self,
+        party: int,
+        dataset: BinnedDataset,
+        frontier,
+        node_rows,
+        grad_ciphers,
+        hess_ciphers,
+        channel,
+        context: PaillierContext,
+        public_context: PaillierContext,
+    ) -> dict[int, Histogram]:
+        """Real-crypto path: homomorphic build, (packed) transfer, decrypt."""
+        per_node: dict[int, Histogram] = {}
+        if self.config.pair_packing:
+            message = EncryptedHistogramMessage(party, ACTIVE)
+            for node_id in frontier:
+                bins = build_pair_histogram(
+                    public_context,
+                    dataset.codes,
+                    node_rows[node_id],
+                    grad_ciphers,
+                    dataset.n_bins,
+                )
+                message.histograms[node_id] = (bins, [])
+                per_node[node_id] = decode_pair_histogram(self._pair_codec, bins)
+            channel.send(message)
+            return per_node
+        encrypted: dict[int, EncryptedHistogram] = {}
+        for node_id in frontier:
+            encrypted[node_id] = build_encrypted_histogram(
+                public_context,
+                dataset.codes,
+                node_rows[node_id],
+                grad_ciphers,
+                hess_ciphers,
+                dataset.n_bins,
+                reordered=self.config.reordered_accumulation,
+            )
+        if self.config.histogram_packing:
+            packed_msg = PackedHistogramMessage(party, ACTIVE)
+            packed_all = {}
+            for node_id, enc_hist in encrypted.items():
+                packed = pack_histogram(
+                    public_context,
+                    enc_hist,
+                    grad_bound=self.loss.gradient_bound,
+                    limb_bits=self.config.limb_bits,
+                )
+                packed_all[node_id] = packed
+                flat = [c for row in packed.grad_packs for c in row]
+                flat += [c for row in packed.hess_packs for c in row]
+                packed_msg.packed[node_id] = flat
+            channel.send(packed_msg)
+            for node_id, packed in packed_all.items():
+                per_node[node_id] = unpack_histogram(context, packed)
+        else:
+            message = EncryptedHistogramMessage(party, ACTIVE)
+            for node_id, enc_hist in encrypted.items():
+                message.histograms[node_id] = (
+                    enc_hist.grad_bins,
+                    enc_hist.hess_bins,
+                )
+            channel.send(message)
+            for node_id, enc_hist in encrypted.items():
+                per_node[node_id] = decrypt_histogram(context, enc_hist)
+        return per_node
+
+    def _global_best_split(
+        self,
+        active_hist: Histogram,
+        passive_hists: dict[int, Histogram],
+        n_node: int,
+    ) -> tuple[int, SplitCandidate | None, SplitCandidate]:
+        """B compares its candidate with every passive party's.
+
+        Returns the winning owner/candidate plus B's own candidate (the
+        one the optimistic strategy would have split with).
+        """
+        params = self.config.params
+        active_candidate = find_best_split(active_hist, params)
+        best_owner, best = ACTIVE, active_candidate
+        for p, hist in passive_hists.items():
+            candidate = find_best_split(
+                hist, params, check_counts=False, node_instances=n_node
+            )
+            if candidate.is_valid and (
+                not best.is_valid or candidate.gain > best.gain
+            ):
+                best_owner, best = p, candidate
+        if not best.is_valid:
+            return -1, None, active_candidate
+        return best_owner, best, active_candidate
+
+    def _misplaced_fraction(
+        self,
+        party_datasets,
+        rows: np.ndarray,
+        owner: int,
+        best: SplitCandidate,
+        active_candidate: SplitCandidate,
+    ) -> float:
+        """Share of a dirty node's rows the optimistic split misplaced.
+
+        Compares the placement under B's optimistic candidate with the
+        correct placement under the winning passive split — the exact
+        quantity the §8 incremental-redo optimization needs.
+        """
+        if not active_candidate.is_valid:
+            return 1.0
+        optimistic = (
+            party_datasets[ACTIVE].codes[rows, active_candidate.feature]
+            <= active_candidate.bin_index
+        )
+        correct = (
+            party_datasets[owner].codes[rows, best.feature] <= best.bin_index
+        )
+        # Placements are direction-agnostic: the better orientation of
+        # the optimistic split counts as "already correct".
+        disagree = float(np.mean(optimistic != correct))
+        return min(disagree, 1.0 - disagree) * 2.0
+
+    def _materialize_split(
+        self,
+        node_id: int,
+        owner: int,
+        best: SplitCandidate,
+        rows: np.ndarray,
+        party_datasets,
+        tree: DecisionTree,
+        channel: RecordingChannel,
+        n_passive: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Owner splits; the placement bitmap is synchronized (§3.2)."""
+        dataset = party_datasets[owner]
+        threshold = dataset.threshold_for(best.feature, best.bin_index)
+        tree.split_node(
+            node_id,
+            owner=owner,
+            feature=best.feature,
+            bin_index=best.bin_index,
+            threshold=threshold,
+            gain=best.gain,
+        )
+        left_rows, right_rows = partition_instances(
+            dataset.codes[:, best.feature], rows, best.bin_index
+        )
+        placement = np.isin(rows, left_rows)
+        if owner == ACTIVE:
+            for p in range(1, n_passive + 1):
+                channel.send(
+                    InstancePlacement(ACTIVE, p, node_id=node_id, placement=placement)
+                )
+        else:
+            flat = best.feature * dataset.n_bins + best.bin_index
+            channel.send(
+                SplitDecision(
+                    ACTIVE, owner, node_id=node_id, owner=owner, bin_flat_index=flat
+                )
+            )
+            channel.send(SplitQuery(ACTIVE, owner, node_id=node_id, bin_flat_index=flat))
+            channel.send(
+                SplitAnswer(owner, ACTIVE, node_id=node_id, placement=placement)
+            )
+            for p in range(1, n_passive + 1):
+                if p != owner:
+                    channel.send(
+                        InstancePlacement(
+                            owner, p, node_id=node_id, placement=placement
+                        )
+                    )
+        return left_rows, right_rows
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _make_context(self) -> PaillierContext:
+        return PaillierContext.create(
+            self.config.key_bits,
+            seed=self.config.seed,
+            jitter=self.config.exponent_jitter,
+        )

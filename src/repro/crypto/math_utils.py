@@ -1,0 +1,148 @@
+"""Number-theoretic primitives underpinning the Paillier cryptosystem.
+
+Everything here operates on plain Python integers.  Python's arbitrary
+precision integers and three-argument ``pow`` give us modular
+exponentiation that is fast enough for the key sizes used in tests and
+for calibrating the cost model at paper-scale key sizes.
+"""
+
+from __future__ import annotations
+
+import math
+import secrets
+
+__all__ = [
+    "is_probable_prime",
+    "generate_prime",
+    "generate_prime_pair",
+    "invert",
+    "crt_combine",
+    "lcm",
+    "powmod",
+    "random_below",
+    "random_coprime",
+]
+
+# Small primes used to cheaply reject composite candidates before the
+# Miller-Rabin rounds.
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+
+def powmod(base: int, exponent: int, modulus: int) -> int:
+    """Modular exponentiation ``base ** exponent mod modulus``.
+
+    Thin wrapper over the built-in three-argument ``pow`` so that the
+    cost model can monkeypatch / count calls at a single choke point.
+    """
+    return pow(base, exponent, modulus)
+
+
+def invert(a: int, modulus: int) -> int:
+    """Return the modular inverse of ``a`` modulo ``modulus``.
+
+    Raises:
+        ValueError: if ``a`` has no inverse modulo ``modulus``.
+    """
+    try:
+        return pow(a, -1, modulus)
+    except ValueError as exc:  # pragma: no cover - message normalization
+        raise ValueError(f"{a} is not invertible modulo {modulus}") from exc
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple of two positive integers."""
+    return a // math.gcd(a, b) * b
+
+
+def is_probable_prime(n: int, rounds: int = 30) -> bool:
+    """Miller-Rabin primality test.
+
+    Args:
+        n: candidate integer.
+        rounds: number of random bases; error probability <= 4**-rounds.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = secrets.randbelow(n - 3) + 2
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int) -> int:
+    """Generate a random probable prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError("prime size must be at least 8 bits")
+    while True:
+        candidate = secrets.randbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force top bit and oddness
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def generate_prime_pair(modulus_bits: int) -> tuple[int, int]:
+    """Generate distinct primes ``(p, q)`` whose product has ``modulus_bits`` bits.
+
+    The primes are drawn with ``modulus_bits // 2`` bits each and redrawn
+    until ``p * q`` actually reaches the requested modulus size and
+    ``p != q``.
+    """
+    half = modulus_bits // 2
+    while True:
+        p = generate_prime(half)
+        q = generate_prime(modulus_bits - half)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() == modulus_bits:
+            return p, q
+
+
+def crt_combine(residue_p: int, residue_q: int, p: int, q: int, q_inv_p: int) -> int:
+    """Combine residues modulo ``p`` and ``q`` into a residue modulo ``p*q``.
+
+    Uses Garner's formula; ``q_inv_p`` must equal ``invert(q, p)`` and is
+    passed in so hot paths can precompute it once per key.
+    """
+    h = (q_inv_p * (residue_p - residue_q)) % p
+    return residue_q + h * q
+
+
+def random_below(n: int) -> int:
+    """Uniform random integer in ``[0, n)``."""
+    return secrets.randbelow(n)
+
+
+def random_coprime(n: int) -> int:
+    """Uniform random integer in ``[1, n)`` coprime to ``n``.
+
+    For an RSA-style modulus the failure probability per draw is
+    negligible, so the loop terminates almost immediately.
+    """
+    while True:
+        r = secrets.randbelow(n - 1) + 1
+        if math.gcd(r, n) == 1:
+            return r

@@ -1,0 +1,141 @@
+"""Polynomial-based cipher packing (§5.2 of the paper).
+
+Packs ``t`` ciphers of *non-negative* ``M``-bit integers into a single
+cipher via a Horner-style polynomial in ``2**M``:
+
+    ``[[Vbar]] = [[V1]] (+) 2^M (x) ([[V2]] (+) 2^M (x) ([[V3]] (+) ...))``
+
+so that a single decryption recovers
+
+    ``Vbar = V1 + 2^M * (V2 + 2^M * (V3 + ...))``
+
+and slicing ``Vbar`` into ``M``-bit limbs recovers all ``t`` values.
+Both the wire size and decryption count shrink by ``t`` at a packing
+cost of ``(t-1)`` HAdd + ``(t-1)`` SMul on the non-private party.
+
+Packing requires every packed value to be a non-negative integer below
+``2**M``; the histogram integration (``repro.core.packing_integration``)
+achieves this by a shift of ``N * Bound`` applied to the first bin
+before prefix-summing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.crypto.ciphertext import EncryptedNumber, PaillierContext
+from repro.crypto.paillier import PaillierPublicKey
+
+__all__ = [
+    "PackedCipher",
+    "pack_capacity",
+    "pack_ciphers",
+    "unpack_values",
+    "DEFAULT_LIMB_BITS",
+]
+
+#: Paper default limb width: M = 64 bits, giving t = 32 at S = 2048.
+DEFAULT_LIMB_BITS = 64
+
+
+@dataclass(frozen=True)
+class PackedCipher:
+    """A cipher holding ``count`` packed ``limb_bits``-bit integers.
+
+    The first packed value occupies the lowest limb. ``exponent`` is
+    the shared fixed-point exponent of the packed values so the
+    receiver can decode the unpacked integers back to floats.
+    """
+
+    ciphertext: int
+    count: int
+    limb_bits: int
+    exponent: int
+
+    def size_bits(self, public_key: PaillierPublicKey) -> int:
+        """Wire size — one cipher regardless of ``count``."""
+        return 2 * public_key.key_bits
+
+
+def pack_capacity(public_key: PaillierPublicKey, limb_bits: int = DEFAULT_LIMB_BITS) -> int:
+    """Max number of limbs that fit one plaintext without overflow.
+
+    One limb of headroom is reserved so that the top packed value can
+    carry a full ``limb_bits`` of magnitude without colliding with the
+    negative encoding range (we require the packed plaintext to stay
+    below ``max_int`` ~ ``n/3``).
+    """
+    usable = public_key.max_int.bit_length() - 1
+    return max(1, usable // limb_bits)
+
+
+def pack_ciphers(
+    context: PaillierContext,
+    numbers: Sequence[EncryptedNumber],
+    limb_bits: int = DEFAULT_LIMB_BITS,
+) -> PackedCipher:
+    """Pack ciphers of non-negative integers into one cipher.
+
+    Args:
+        context: a (public) Paillier context — packing needs no private key.
+        numbers: ciphers to pack; all must share one exponent. Their
+            plaintexts must be non-negative and below ``2**limb_bits``
+            (the caller guarantees this via shifting; violations surface
+            as corrupted limbs, which the histogram integration tests).
+        limb_bits: ``M`` in the paper.
+
+    Returns:
+        A :class:`PackedCipher` with the first input in the lowest limb.
+
+    Raises:
+        ValueError: on empty input, mixed exponents, or capacity overflow.
+    """
+    if not numbers:
+        raise ValueError("cannot pack an empty sequence")
+    capacity = pack_capacity(context.public_key, limb_bits)
+    if len(numbers) > capacity:
+        raise ValueError(
+            f"cannot pack {len(numbers)} limbs: capacity is {capacity} "
+            f"at M={limb_bits}, S={context.public_key.key_bits}"
+        )
+    exponent = numbers[0].exponent
+    for number in numbers:
+        if number.exponent != exponent:
+            raise ValueError("all packed ciphers must share one exponent")
+    radix = 1 << limb_bits
+    accumulator = numbers[-1]
+    for number in reversed(numbers[:-1]):
+        shifted = context.multiply_raw(accumulator, radix)
+        accumulator = context.add(number, shifted)
+    return PackedCipher(
+        ciphertext=accumulator.ciphertext,
+        count=len(numbers),
+        limb_bits=limb_bits,
+        exponent=exponent,
+    )
+
+
+def unpack_values(context: PaillierContext, packed: PackedCipher) -> list[int]:
+    """Decrypt once and slice the packed plaintext into its limbs.
+
+    Args:
+        context: a context holding the private key (Party B side).
+        packed: the packed cipher.
+
+    Returns:
+        The ``count`` non-negative integers, first-packed first.
+    """
+    number = EncryptedNumber(context, packed.ciphertext, packed.exponent)
+    plaintext = context.decrypt_raw(number)
+    mask = (1 << packed.limb_bits) - 1
+    values = []
+    for _ in range(packed.count):
+        values.append(plaintext & mask)
+        plaintext >>= packed.limb_bits
+    return values
+
+
+def limb_fits(value: int, limb_bits: int) -> bool:
+    """Whether an integer fits in one non-negative limb."""
+    return 0 <= value < (1 << limb_bits)

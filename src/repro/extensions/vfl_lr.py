@@ -1,0 +1,203 @@
+"""Vertical federated logistic regression with re-ordered reduction.
+
+§5.1's discussion claims the re-ordered accumulation technique carries
+beyond GBDT: "for the vertical federated LR [84], we can accelerate
+the reduction of encrypted gradients in a mini-batch". This module
+substantiates that claim with a working two-party vertical federated
+LR in the same threat model as the GBDT trainer (semi-honest, Party B
+holds labels and the private key):
+
+1. both parties compute partial margins ``u_p = X_p w_p``; Party A's
+   partial margin is disclosed to B (a 1-D projection of A's features,
+   the standard disclosure of coordinator-free VFL-LR protocols — see
+   the privacy note below);
+2. B computes residuals ``d = sigmoid(u_A + u_B) - y``, encrypts them
+   and ships ``[[d]]`` to A (labels stay hidden, exactly like the
+   gradient stream of the GBDT protocol);
+3. A computes its encrypted gradient per feature,
+   ``[[g_j]] = sum_i x_ij (x) [[d_i]]``, reducing each feature's terms
+   with either naive or **re-ordered** accumulation;
+4. A blinds ``[[g_j + r_j]]`` with a random mask, B decrypts and
+   returns the masked plaintext, A unmasks and takes its step. B never
+   sees A's gradient; A never sees labels or residuals.
+
+Privacy note: disclosing ``u_A`` reveals one linear projection of A's
+features per iteration. Protocols that hide even this exist (third
+party, or secret-shared margins) but are orthogonal here — the point
+of this module is the crypto-path structure that §5.1 talks about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto.accumulation import ExponentWorkspace
+from repro.crypto.ciphertext import EncryptedNumber, PaillierContext
+from repro.fed.channel import RecordingChannel
+from repro.fed.messages import CountedCipherPayload
+from repro.gbdt.loss import sigmoid
+from repro.gbdt.metrics import auc, logloss
+
+__all__ = ["VflLrConfig", "VflLrResult", "VerticalLogisticRegression"]
+
+
+@dataclass
+class VflLrConfig:
+    """Hyper-parameters of the federated LR trainer.
+
+    Attributes:
+        iterations: full-batch gradient steps.
+        learning_rate: step size.
+        reg_lambda: L2 penalty.
+        key_bits: Paillier modulus size.
+        exponent_jitter: encoding jitter ``E`` — the knob that makes
+            re-ordered reduction matter.
+        reordered_reduction: use per-exponent workspaces for the
+            gradient reduction (§5.1's claim).
+        seed: RNG seed (keygen, masks).
+    """
+
+    iterations: int = 10
+    learning_rate: float = 0.5
+    reg_lambda: float = 0.01
+    key_bits: int = 256
+    exponent_jitter: int = 4
+    reordered_reduction: bool = True
+    seed: int = 0
+
+
+@dataclass
+class VflLrResult:
+    """Trained weights plus per-iteration diagnostics."""
+
+    weights_a: np.ndarray
+    weights_b: np.ndarray
+    intercept: float
+    losses: list[float] = field(default_factory=list)
+    channel: RecordingChannel | None = None
+    scalings: int = 0
+    additions: int = 0
+
+    def predict_proba(self, features_a: np.ndarray, features_b: np.ndarray) -> np.ndarray:
+        """Joint prediction (needs both parties' columns)."""
+        margin = (
+            features_a @ self.weights_a
+            + features_b @ self.weights_b
+            + self.intercept
+        )
+        return sigmoid(margin)
+
+    def validation_auc(self, features_a, features_b, labels) -> float:
+        """AUC of the joint model."""
+        return auc(labels, self.predict_proba(features_a, features_b))
+
+
+class VerticalLogisticRegression:
+    """Two-party vertical federated LR over the Paillier substrate."""
+
+    def __init__(self, config: VflLrConfig | None = None) -> None:
+        self.config = config or VflLrConfig()
+
+    def fit(
+        self,
+        features_a: np.ndarray,
+        features_b: np.ndarray,
+        labels: np.ndarray,
+    ) -> VflLrResult:
+        """Train on vertically partitioned features.
+
+        Args:
+            features_a: passive party's columns (no labels).
+            features_b: active party's columns.
+            labels: active party's binary labels.
+        """
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        n = features_a.shape[0]
+        if features_b.shape[0] != n or labels.shape[0] != n:
+            raise ValueError("parties must hold aligned instances")
+
+        context = PaillierContext.create(
+            config.key_bits, seed=config.seed, jitter=config.exponent_jitter
+        )
+        public = context.public_context()
+        channel = RecordingChannel(config.key_bits, active_party=0)
+
+        weights_a = np.zeros(features_a.shape[1])
+        weights_b = np.zeros(features_b.shape[1])
+        intercept = 0.0
+        losses: list[float] = []
+
+        for _ in range(config.iterations):
+            # (1) partial margins; A's is disclosed (see module docstring).
+            margin = features_a @ weights_a + features_b @ weights_b + intercept
+            prob = sigmoid(margin)
+            residuals = prob - labels
+            losses.append(logloss(labels, prob))
+
+            # (2) B encrypts residuals for A (labels protected).
+            encrypted = [context.encrypt(float(d)) for d in residuals]
+            channel.send(
+                CountedCipherPayload(0, 1, kind="residuals", n_ciphers=n)
+            )
+
+            # (3) A's encrypted gradient, reduced per feature.
+            masked = []
+            masks = rng.uniform(-1.0, 1.0, size=features_a.shape[1])
+            for j in range(features_a.shape[1]):
+                terms = (
+                    public.multiply(encrypted[i], float(features_a[i, j]))
+                    for i in range(n)
+                )
+                total = self._reduce(public, terms)
+                masked.append(public.add_plain(total, float(masks[j] * n)))
+            channel.send(
+                CountedCipherPayload(
+                    1, 0, kind="masked_grads", n_ciphers=len(masked)
+                )
+            )
+
+            # (4) B decrypts the blinded gradients and returns them.
+            revealed = np.array([context.decrypt(c) for c in masked])
+            channel.send(
+                CountedCipherPayload(
+                    0, 1, kind="unmasked", n_ciphers=0,
+                    extra_bytes=8 * len(masked),
+                )
+            )
+            grad_a = revealed / n - masks
+            grad_b = features_b.T @ residuals / n
+            grad_intercept = float(residuals.mean())
+
+            weights_a -= config.learning_rate * (
+                grad_a + config.reg_lambda * weights_a
+            )
+            weights_b -= config.learning_rate * (
+                grad_b + config.reg_lambda * weights_b
+            )
+            intercept -= config.learning_rate * grad_intercept
+
+        return VflLrResult(
+            weights_a=weights_a,
+            weights_b=weights_b,
+            intercept=intercept,
+            losses=losses,
+            channel=channel,
+            scalings=public.stats.scalings,
+            additions=public.stats.additions,
+        )
+
+    def _reduce(self, context: PaillierContext, terms) -> EncryptedNumber:
+        """Sum encrypted gradient terms, naive or re-ordered (§5.1)."""
+        if self.config.reordered_reduction:
+            workspace = ExponentWorkspace(context)
+            for term in terms:
+                workspace.add(term)
+            return workspace.finalize()
+        total: EncryptedNumber | None = None
+        for term in terms:
+            total = term if total is None else context.add(total, term)
+        assert total is not None
+        return total

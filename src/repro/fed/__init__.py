@@ -1,0 +1,45 @@
+"""Federation substrate: messages, channels, clusters, event simulation."""
+
+from repro.fed.channel import ChannelStats, PrivacyViolation, RecordingChannel
+from repro.fed.cluster import PAPER_CLUSTER, ClusterSpec
+from repro.fed.messages import (
+    CountedCipherPayload,
+    DirtyNodeNotice,
+    EncryptedGradHessBatch,
+    EncryptedHistogramMessage,
+    InstancePlacement,
+    LeafWeightBroadcast,
+    Message,
+    PackedHistogramMessage,
+    RouteAnswer,
+    RouteQuery,
+    SplitAnswer,
+    SplitDecision,
+    SplitQuery,
+    cipher_bytes,
+)
+from repro.fed.simtime import Resource, SimEngine, SimTask
+
+__all__ = [
+    "PAPER_CLUSTER",
+    "ChannelStats",
+    "ClusterSpec",
+    "CountedCipherPayload",
+    "DirtyNodeNotice",
+    "EncryptedGradHessBatch",
+    "EncryptedHistogramMessage",
+    "InstancePlacement",
+    "LeafWeightBroadcast",
+    "Message",
+    "PackedHistogramMessage",
+    "PrivacyViolation",
+    "Resource",
+    "RouteAnswer",
+    "RouteQuery",
+    "SimEngine",
+    "SimTask",
+    "SplitAnswer",
+    "SplitDecision",
+    "SplitQuery",
+    "cipher_bytes",
+]

@@ -1,0 +1,67 @@
+"""Evaluation metrics used throughout the paper's evaluation (§6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["auc", "logloss", "rmse", "accuracy", "error_rate"]
+
+
+def auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank statistic.
+
+    Ties in scores are handled by average ranks (Mann-Whitney U).
+
+    Raises:
+        ValueError: when only one class is present.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    positives = labels > 0.5
+    n_pos = int(positives.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC is undefined with a single class")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(labels.size, dtype=np.float64)
+    sorted_scores = scores[order]
+    # Average ranks over tied score groups.
+    i = 0
+    position = 1.0
+    while i < labels.size:
+        j = i
+        while j + 1 < labels.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        average = (position + position + (j - i)) / 2.0
+        ranks[order[i : j + 1]] = average
+        position += j - i + 1
+        i = j + 1
+    rank_sum = float(ranks[positives].sum())
+    u_statistic = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return u_statistic / (n_pos * n_neg)
+
+
+def logloss(labels: np.ndarray, probabilities: np.ndarray) -> float:
+    """Mean binary cross-entropy over predicted probabilities."""
+    labels = np.asarray(labels, dtype=np.float64)
+    prob = np.clip(np.asarray(probabilities, dtype=np.float64), 1e-15, 1 - 1e-15)
+    return float(-np.mean(labels * np.log(prob) + (1 - labels) * np.log(1 - prob)))
+
+
+def rmse(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Root mean squared error."""
+    labels = np.asarray(labels, dtype=np.float64)
+    predictions = np.asarray(predictions, dtype=np.float64)
+    return float(np.sqrt(np.mean((labels - predictions) ** 2)))
+
+
+def accuracy(labels: np.ndarray, probabilities: np.ndarray) -> float:
+    """Fraction of correct 0.5-thresholded predictions."""
+    labels = np.asarray(labels, dtype=np.float64)
+    predicted = np.asarray(probabilities, dtype=np.float64) >= 0.5
+    return float(np.mean(predicted == (labels > 0.5)))
+
+
+def error_rate(labels: np.ndarray, probabilities: np.ndarray) -> float:
+    """``1 - accuracy``."""
+    return 1.0 - accuracy(labels, probabilities)

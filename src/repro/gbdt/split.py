@@ -1,0 +1,161 @@
+"""Split gain evaluation over histograms (§2.1 of the paper).
+
+Implements the regularized split gain
+
+    ``Gain = 1/2 [ G_L^2/(H_L+lambda) + G_R^2/(H_R+lambda)
+                   - G^2/(H+lambda) ] - gamma``
+
+evaluated for every ``(feature, bin)`` candidate via prefix sums, plus
+the optimal leaf weight ``w* = -G / (H + lambda)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gbdt.histogram import Histogram
+from repro.gbdt.params import GBDTParams
+
+__all__ = ["SplitCandidate", "find_best_split", "leaf_weight", "gain_matrix"]
+
+
+@dataclass(frozen=True)
+class SplitCandidate:
+    """A candidate split of one node.
+
+    ``feature`` indexes the histogram that produced it — callers that
+    search a party-local histogram must translate to global feature ids
+    (or keep it local, which is exactly the privacy point of the
+    federated protocol: Party B only ever learns Party A's *bin index*).
+
+    Attributes:
+        feature: feature column index within the searched histogram.
+        bin_index: instances with ``code <= bin_index`` go left.
+        gain: regularized split gain.
+        left_grad / left_hess / left_count: statistics of the left child.
+        right_grad / right_hess / right_count: statistics of the right child.
+    """
+
+    feature: int
+    bin_index: int
+    gain: float
+    left_grad: float
+    left_hess: float
+    left_count: int
+    right_grad: float
+    right_hess: float
+    right_count: int
+
+    @property
+    def is_valid(self) -> bool:
+        """Whether this candidate denotes an actual split."""
+        return self.feature >= 0 and self.gain > 0.0
+
+
+NO_SPLIT = SplitCandidate(
+    feature=-1,
+    bin_index=-1,
+    gain=float("-inf"),
+    left_grad=0.0,
+    left_hess=0.0,
+    left_count=0,
+    right_grad=0.0,
+    right_hess=0.0,
+    right_count=0,
+)
+
+
+def leaf_weight(grad_sum: float, hess_sum: float, reg_lambda: float) -> float:
+    """Optimal leaf weight ``w* = -G / (H + lambda)`` (Equation 1)."""
+    return -grad_sum / (hess_sum + reg_lambda)
+
+
+def gain_matrix(
+    histogram: Histogram, params: GBDTParams, check_counts: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split gains for every ``(feature, bin)`` plus the validity mask.
+
+    Args:
+        check_counts: enforce per-child instance-count constraints. The
+            active party disables this when searching a *decrypted*
+            passive-party histogram, whose counts it legitimately does
+            not know (the hessian-based ``min_child_weight`` constraint
+            still applies).
+
+    Returns:
+        ``(gains, valid)`` arrays of shape ``(D, s-1)`` — splitting after
+        the last bin is meaningless so the final column is dropped.
+    """
+    grad_prefix = np.cumsum(histogram.grad, axis=1)[:, :-1]
+    hess_prefix = np.cumsum(histogram.hess, axis=1)[:, :-1]
+    count_prefix = np.cumsum(histogram.count, axis=1)[:, :-1]
+    total_grad = histogram.total_grad
+    total_hess = histogram.total_hess
+    total_count = histogram.total_count
+
+    right_grad = total_grad - grad_prefix
+    right_hess = total_hess - hess_prefix
+    right_count = total_count - count_prefix
+
+    lam = params.reg_lambda
+    parent_term = total_grad**2 / (total_hess + lam)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        gains = 0.5 * (
+            grad_prefix**2 / (hess_prefix + lam)
+            + right_grad**2 / (right_hess + lam)
+            - parent_term
+        ) - params.gamma
+    valid = (hess_prefix >= params.min_child_weight) & (
+        right_hess >= params.min_child_weight
+    )
+    if check_counts:
+        valid &= (count_prefix >= 1) & (right_count >= 1)
+    gains = np.where(valid, gains, float("-inf"))
+    return gains, valid
+
+
+def find_best_split(
+    histogram: Histogram,
+    params: GBDTParams,
+    check_counts: bool = True,
+    node_instances: int | None = None,
+) -> SplitCandidate:
+    """Search a histogram for the maximal-gain candidate.
+
+    Args:
+        check_counts: see :func:`gain_matrix`.
+        node_instances: instance count of the node when the histogram's
+            own counts are unreliable (decrypted passive histograms).
+
+    Returns ``NO_SPLIT`` (with ``is_valid == False``) when no candidate
+    satisfies the constraints or improves the loss.
+    """
+    if histogram.n_features == 0 or histogram.n_bins < 2:
+        return NO_SPLIT
+    total_count = (
+        node_instances if node_instances is not None else histogram.total_count
+    )
+    if total_count < params.min_node_instances:
+        return NO_SPLIT
+    gains, _ = gain_matrix(histogram, params, check_counts=check_counts)
+    flat_index = int(np.argmax(gains))
+    best_gain = float(gains.ravel()[flat_index])
+    if not np.isfinite(best_gain) or best_gain <= 0.0:
+        return NO_SPLIT
+    feature, bin_index = divmod(flat_index, gains.shape[1])
+    grad_prefix = float(np.sum(histogram.grad[feature, : bin_index + 1]))
+    hess_prefix = float(np.sum(histogram.hess[feature, : bin_index + 1]))
+    count_prefix = int(np.sum(histogram.count[feature, : bin_index + 1]))
+    return SplitCandidate(
+        feature=feature,
+        bin_index=bin_index,
+        gain=best_gain,
+        left_grad=grad_prefix,
+        left_hess=hess_prefix,
+        left_count=count_prefix,
+        right_grad=histogram.total_grad - grad_prefix,
+        right_hess=histogram.total_hess - hess_prefix,
+        right_count=histogram.total_count - count_prefix,
+    )

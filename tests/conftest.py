@@ -1,0 +1,76 @@
+"""Shared fixtures: small deterministic keys and datasets.
+
+Key sizes here are far below the 2048 bits the paper (and production)
+use — the Paillier algebra is identical at any size, and 256-bit keys
+keep the full real-crypto protocol tests fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import VF2BoostConfig
+from repro.crypto.ciphertext import PaillierContext
+from repro.gbdt.binning import bin_dataset
+from repro.gbdt.params import GBDTParams
+
+
+@pytest.fixture(scope="session")
+def context() -> PaillierContext:
+    """A 256-bit context with the private key and no exponent jitter."""
+    return PaillierContext.create(256, seed=42, jitter=1)
+
+
+@pytest.fixture(scope="session")
+def jitter_context() -> PaillierContext:
+    """A 256-bit context with a 4-wide exponent jitter window."""
+    return PaillierContext.create(256, seed=43, jitter=4)
+
+
+@pytest.fixture(scope="session")
+def small_classification():
+    """A small, learnable binary classification problem."""
+    rng = np.random.default_rng(7)
+    n, d = 400, 10
+    features = rng.normal(size=(n, d))
+    weights = rng.normal(size=d)
+    logits = features @ weights + 0.4 * features[:, 0] * features[:, 1]
+    labels = (logits + rng.normal(scale=0.3, size=n) > 0).astype(np.float64)
+    return features, labels
+
+
+@pytest.fixture(scope="session")
+def small_params() -> GBDTParams:
+    """Small tree/round counts for fast protocol tests."""
+    return GBDTParams(n_trees=3, n_layers=4, n_bins=10)
+
+
+@pytest.fixture()
+def party_datasets(small_classification, small_params):
+    """The small problem vertically split: Party B cols 5..9, A cols 0..4."""
+    features, labels = small_classification
+    full = bin_dataset(features, small_params.n_bins)
+    dataset_b = full.subset_features(np.arange(5, 10))
+    dataset_a = full.subset_features(np.arange(0, 5))
+    return [dataset_b, dataset_a], labels
+
+
+@pytest.fixture()
+def counted_config(small_params) -> VF2BoostConfig:
+    """Counted-mode config with every optimization enabled."""
+    return VF2BoostConfig.vf2boost(
+        params=small_params, crypto_mode="counted", key_bits=256
+    )
+
+
+@pytest.fixture()
+def real_config(small_params) -> VF2BoostConfig:
+    """Real-crypto config at a test-sized key."""
+    return VF2BoostConfig.vf2boost(
+        params=small_params,
+        crypto_mode="real",
+        key_bits=256,
+        exponent_jitter=3,
+        blaster_batch_size=64,
+    )

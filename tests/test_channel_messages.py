@@ -1,0 +1,148 @@
+"""Tests for typed messages, channel accounting and privacy guards."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.ciphertext import PaillierContext
+from repro.fed.channel import PrivacyViolation, RecordingChannel
+from repro.fed.messages import (
+    CountedCipherPayload,
+    EncryptedGradHessBatch,
+    InstancePlacement,
+    LeafWeightBroadcast,
+    PackedHistogramMessage,
+    SplitAnswer,
+    SplitDecision,
+    SplitQuery,
+    cipher_bytes,
+)
+
+CTX = PaillierContext.create(256, seed=21)
+
+
+class TestMessageSizes:
+    def test_cipher_bytes(self):
+        assert cipher_bytes(2048) == 512
+        assert cipher_bytes(256) == 64
+
+    def test_grad_hess_batch_size(self):
+        grads = [CTX.encrypt(0.1) for _ in range(3)]
+        hesses = [CTX.encrypt(0.2) for _ in range(3)]
+        msg = EncryptedGradHessBatch(0, 1, grads=grads, hesses=hesses)
+        assert msg.payload_bytes(256) == 6 * 64 + 8
+        assert len(msg) == 3
+        assert msg.carries_ciphertext_only
+
+    def test_placement_bitmap_size(self):
+        msg = InstancePlacement(0, 1, node_id=3, placement=np.ones(100, dtype=bool))
+        assert msg.payload_bytes(256) == 13 + 8  # ceil(100/8) + header
+
+    def test_counted_payload_size(self):
+        msg = CountedCipherPayload(1, 0, kind="histograms", n_ciphers=10)
+        assert msg.payload_bytes(256) == 10 * 64 + 8
+        assert msg.carries_ciphertext_only
+
+    def test_control_messages_small(self):
+        assert SplitDecision(0, 1).payload_bytes(2048) < 100
+        assert SplitQuery(0, 1).payload_bytes(2048) < 100
+
+    def test_split_answer_size(self):
+        msg = SplitAnswer(1, 0, node_id=1, placement=np.zeros(16, dtype=bool))
+        assert msg.payload_bytes(256) == 2 + 8
+
+    def test_leaf_broadcast_size(self):
+        msg = LeafWeightBroadcast(0, 1, weights={1: 0.5, 2: -0.5})
+        assert msg.payload_bytes(256) == 32
+
+
+class TestChannelQueues:
+    def test_fifo_order(self):
+        channel = RecordingChannel(256)
+        channel.send(SplitQuery(0, 1, node_id=1))
+        channel.send(SplitQuery(0, 1, node_id=2))
+        assert channel.receive(0, 1).node_id == 1
+        assert channel.receive(0, 1).node_id == 2
+
+    def test_empty_receive_raises(self):
+        with pytest.raises(LookupError):
+            RecordingChannel(256).receive(0, 1)
+
+    def test_receive_all_drains(self):
+        channel = RecordingChannel(256)
+        for k in range(3):
+            channel.send(SplitQuery(0, 1, node_id=k))
+        assert len(channel.receive_all(0, 1)) == 3
+        assert channel.pending(0, 1) == 0
+
+    def test_directions_independent(self):
+        channel = RecordingChannel(256)
+        channel.send(SplitQuery(0, 1))
+        channel.send(SplitAnswer(1, 0, placement=np.zeros(2, dtype=bool)))
+        assert channel.pending(0, 1) == 1
+        assert channel.pending(1, 0) == 1
+
+
+class TestChannelAccounting:
+    def test_bytes_accumulate(self):
+        channel = RecordingChannel(256)
+        channel.send(CountedCipherPayload(0, 1, kind="gh", n_ciphers=4))
+        channel.send(CountedCipherPayload(1, 0, kind="hist", n_ciphers=2))
+        assert channel.total_bytes() == (4 * 64 + 8) + (2 * 64 + 8)
+        assert channel.bytes_toward(1) == 4 * 64 + 8
+
+    def test_by_type_stats(self):
+        channel = RecordingChannel(256)
+        channel.send(SplitQuery(0, 1))
+        channel.send(SplitQuery(0, 1))
+        stats = channel.by_type["SplitQuery"]
+        assert stats.messages == 2
+
+    def test_reset_stats_keeps_queue(self):
+        channel = RecordingChannel(256)
+        channel.send(SplitQuery(0, 1))
+        channel.reset_stats()
+        assert channel.total_bytes() == 0
+        assert channel.pending(0, 1) == 1
+
+
+class TestPrivacyGuard:
+    def test_label_derived_plaintext_to_passive_rejected(self):
+        channel = RecordingChannel(256, active_party=0, strict=True)
+
+        class LeakyBatch(EncryptedGradHessBatch):
+            @property
+            def carries_ciphertext_only(self):
+                return False
+
+        with pytest.raises(PrivacyViolation):
+            channel.send(LeakyBatch(0, 1))
+
+    def test_same_message_to_active_party_allowed(self):
+        channel = RecordingChannel(256, active_party=0, strict=True)
+
+        class LeakyHist(PackedHistogramMessage):
+            @property
+            def carries_ciphertext_only(self):
+                return False
+
+        # Toward the label holder itself, plaintext is fine.
+        channel.send(LeakyHist(1, 0))
+
+    def test_non_strict_mode_allows(self):
+        channel = RecordingChannel(256, strict=False)
+
+        class LeakyBatch(EncryptedGradHessBatch):
+            @property
+            def carries_ciphertext_only(self):
+                return False
+
+        channel.send(LeakyBatch(0, 1))  # no exception
+
+    def test_ciphertext_messages_pass(self):
+        channel = RecordingChannel(256, strict=True)
+        channel.send(
+            EncryptedGradHessBatch(
+                0, 1, grads=[CTX.encrypt(0.5)], hesses=[CTX.encrypt(0.1)]
+            )
+        )
+        assert channel.pending(0, 1) == 1

@@ -1,0 +1,154 @@
+"""Tests for encrypted histogram construction and §5.2 packing."""
+
+import numpy as np
+import pytest
+
+from repro.core.enc_histogram import (
+    build_encrypted_histogram,
+    decrypt_histogram,
+    pack_histogram,
+    required_limb_bits,
+    unpack_histogram,
+)
+from repro.crypto.ciphertext import PaillierContext
+from repro.gbdt.binning import bin_dataset
+from repro.gbdt.histogram import build_histogram
+
+CTX = PaillierContext.create(256, seed=31, jitter=3)
+
+
+def _setup(n=40, d=3, n_bins=6, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, d))
+    dataset = bin_dataset(features, n_bins)
+    grads = rng.uniform(-1, 1, size=n)
+    hess = rng.uniform(0.01, 0.25, size=n)
+    grad_ciphers = [CTX.encrypt(float(g)) for g in grads]
+    hess_ciphers = [CTX.encrypt(float(h)) for h in hess]
+    return dataset, grads, hess, grad_ciphers, hess_ciphers
+
+
+class TestBuildEncryptedHistogram:
+    @pytest.mark.parametrize("reordered", [False, True])
+    def test_matches_plaintext(self, reordered):
+        dataset, grads, hess, gc, hc = _setup()
+        rows = np.arange(dataset.n_instances)
+        encrypted = build_encrypted_histogram(
+            CTX.public_context(), dataset.codes, rows, gc, hc,
+            dataset.n_bins, reordered=reordered,
+        )
+        decrypted = decrypt_histogram(CTX, encrypted)
+        reference = build_histogram(dataset, rows, grads, hess)
+        assert np.allclose(decrypted.grad, reference.grad, atol=1e-5)
+        assert np.allclose(decrypted.hess, reference.hess, atol=1e-5)
+
+    def test_subset_rows(self):
+        dataset, grads, hess, gc, hc = _setup()
+        rows = np.array([0, 5, 9, 22])
+        encrypted = build_encrypted_histogram(
+            CTX.public_context(), dataset.codes, rows, gc, hc,
+            dataset.n_bins, reordered=True,
+        )
+        decrypted = decrypt_histogram(CTX, encrypted)
+        reference = build_histogram(dataset, rows, grads, hess)
+        assert np.allclose(decrypted.grad, reference.grad, atol=1e-5)
+
+    def test_reordered_scales_less(self):
+        dataset, _, _, gc, hc = _setup(n=60)
+        rows = np.arange(dataset.n_instances)
+        public = CTX.public_context()
+        before = public.stats.snapshot()
+        build_encrypted_histogram(
+            public, dataset.codes, rows, gc, hc, dataset.n_bins, reordered=False
+        )
+        naive_scalings = public.stats.diff(before).scalings
+        before = public.stats.snapshot()
+        build_encrypted_histogram(
+            public, dataset.codes, rows, gc, hc, dataset.n_bins, reordered=True
+        )
+        reordered_scalings = public.stats.diff(before).scalings
+        assert reordered_scalings < naive_scalings
+
+    def test_cipher_count(self):
+        dataset, _, _, gc, hc = _setup(d=2, n_bins=5)
+        encrypted = build_encrypted_histogram(
+            CTX.public_context(), dataset.codes, np.arange(10), gc, hc, 5, True
+        )
+        assert encrypted.cipher_count() == 2 * 2 * 5
+
+
+class TestPackUnpackHistogram:
+    @pytest.mark.parametrize("reordered", [False, True])
+    def test_round_trip(self, reordered):
+        dataset, grads, hess, gc, hc = _setup(n=50, d=2, n_bins=8, seed=3)
+        rows = np.arange(dataset.n_instances)
+        public = CTX.public_context()
+        encrypted = build_encrypted_histogram(
+            public, dataset.codes, rows, gc, hc, dataset.n_bins, reordered
+        )
+        packed = pack_histogram(public, encrypted, grad_bound=1.0, limb_bits=32)
+        recovered = unpack_histogram(CTX, packed)
+        reference = build_histogram(dataset, rows, grads, hess)
+        assert np.allclose(recovered.grad, reference.grad, atol=1e-4)
+        assert np.allclose(recovered.hess, reference.hess, atol=1e-4)
+
+    def test_wire_size_shrinks(self):
+        dataset, _, _, gc, hc = _setup(n=30, d=2, n_bins=8)
+        public = CTX.public_context()
+        encrypted = build_encrypted_histogram(
+            public, dataset.codes, np.arange(30), gc, hc, 8, True
+        )
+        packed = pack_histogram(public, encrypted, grad_bound=1.0, limb_bits=32)
+        assert packed.cipher_count() < encrypted.cipher_count()
+
+    def test_one_decryption_per_pack(self):
+        dataset, _, _, gc, hc = _setup(n=20, d=1, n_bins=6)
+        public = CTX.public_context()
+        encrypted = build_encrypted_histogram(
+            public, dataset.codes, np.arange(20), gc, hc, 6, True
+        )
+        packed = pack_histogram(public, encrypted, grad_bound=1.0, limb_bits=32)
+        before = CTX.stats.snapshot()
+        unpack_histogram(CTX, packed)
+        assert CTX.stats.diff(before).decryptions == packed.cipher_count()
+
+    def test_negative_gradient_sums_survive_shift(self):
+        # All-negative gradients stress the N*Bound shift.
+        n = 30
+        rng = np.random.default_rng(4)
+        features = rng.normal(size=(n, 1))
+        dataset = bin_dataset(features, 5)
+        grads = -rng.uniform(0.5, 1.0, size=n)
+        hess = rng.uniform(0.1, 0.25, size=n)
+        gc = [CTX.encrypt(float(g)) for g in grads]
+        hc = [CTX.encrypt(float(h)) for h in hess]
+        public = CTX.public_context()
+        encrypted = build_encrypted_histogram(
+            public, dataset.codes, np.arange(n), gc, hc, 5, True
+        )
+        packed = pack_histogram(public, encrypted, grad_bound=1.0, limb_bits=32)
+        recovered = unpack_histogram(CTX, packed)
+        reference = build_histogram(dataset, np.arange(n), grads, hess)
+        assert np.allclose(recovered.grad, reference.grad, atol=1e-4)
+
+    def test_shift_value_recorded(self):
+        dataset, _, _, gc, hc = _setup(n=25, d=1, n_bins=4)
+        public = CTX.public_context()
+        encrypted = build_encrypted_histogram(
+            public, dataset.codes, np.arange(25), gc, hc, 4, True
+        )
+        packed = pack_histogram(public, encrypted, grad_bound=1.0, limb_bits=32)
+        assert packed.grad_shift == 25.0
+
+
+class TestRequiredLimbBits:
+    def test_grows_with_magnitude(self):
+        small = required_limb_bits(10.0, 16, 8, 16)
+        large = required_limb_bits(1e9, 16, 8, 16)
+        assert large > small >= 16
+
+    def test_respects_configured_floor(self):
+        assert required_limb_bits(1.0, 16, 2, 64) == 64
+
+    def test_zero_magnitude(self):
+        assert required_limb_bits(0.0, 16, 8, 48) == 48

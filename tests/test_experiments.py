@@ -1,0 +1,128 @@
+"""Smoke + shape tests for the experiment harness (tables & figures)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    counted_run,
+    run_fig7,
+    run_resource_utilization,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table5,
+)
+from repro.bench.report import format_bytes, format_ratio, format_seconds, format_table
+from repro.gbdt.params import GBDTParams
+
+FAST_PARAMS = GBDTParams(n_trees=2, n_layers=4, n_bins=8)
+
+
+class TestTable1:
+    rows, rendered = run_table1(instance_counts=(100_000, 200_000))
+
+    def test_every_variant_speeds_up(self):
+        for row in self.rows:
+            base = row["baseline"]
+            assert row["+BlasterEnc"] < base
+            assert row["+Re-ordered"] < base
+            assert row["+Both"] < row["+BlasterEnc"]
+            assert row["+Both"] < row["+Re-ordered"]
+
+    def test_breakdown_sums(self):
+        for row in self.rows:
+            assert row["baseline"] == pytest.approx(
+                row["enc"] + row["comm"] + row["hadd"]
+            )
+
+    def test_scales_with_instances(self):
+        assert self.rows[1]["baseline"] > self.rows[0]["baseline"] * 1.8
+
+    def test_render(self):
+        assert "Table 1" in self.rendered
+        assert "+BlasterEnc" in self.rendered
+
+
+class TestTable2:
+    rows, rendered = run_table2(
+        feature_splits=((4000, 1000), (1000, 4000)), n_instances=1_000_000
+    )
+
+    def test_both_always_fastest(self):
+        for row in self.rows:
+            assert row["+Both"] <= row["baseline"]
+            assert row["+OptimSplit"] < row["baseline"]
+            assert row["+HistPack"] < row["baseline"]
+
+    def test_more_b_features_cheaper(self):
+        assert self.rows[1]["baseline"] < self.rows[0]["baseline"]
+
+    def test_render(self):
+        assert "Table 2" in self.rendered
+
+
+class TestTable3:
+    def test_lists_all_datasets(self):
+        rendered = run_table3()
+        for name in ("census", "a9a", "susy", "epsilon", "rcv1", "synthesis", "industry"):
+            assert name in rendered
+
+
+class TestFig7:
+    def test_measured_gains(self):
+        rendered = run_fig7(key_bits=256, samples=24)
+        assert "Figure 7" in rendered
+        assert "re-ordered HAdd gain" in rendered
+
+
+class TestTable5:
+    def test_speedups_monotone(self):
+        results, rendered = run_table5(
+            dataset_names=("susy",), worker_counts=(4, 8, 16)
+        )
+        times = results["susy"]
+        assert times[4] > times[8] > times[16]
+        assert "Table 5" in rendered
+
+
+class TestResourceUtilization:
+    def test_directions(self):
+        result, rendered = run_resource_utilization(
+            params=GBDTParams(n_trees=1, n_layers=5, n_bins=20)
+        )
+        assert result["vf2boost_cpu_percent"] > result["baseline_cpu_percent"]
+        assert (
+            result["vf2boost_bytes_per_tree"] < result["baseline_bytes_per_tree"]
+        )
+        assert "§6.2" in rendered
+
+
+class TestCountedRun:
+    def test_small_dataset(self):
+        run = counted_run("census", FAST_PARAMS, scale=0.03)
+        assert len(run.losses) == FAST_PARAMS.n_trees
+        assert run.losses[-1] < run.losses[0]
+        assert run.valid_auc is not None
+
+    def test_multi_party(self):
+        run = counted_run("census", FAST_PARAMS, scale=0.03, n_passive=2)
+        assert run.result.trace.n_parties == 3
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [("x", "1"), ("yy", "22")], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_format_seconds(self):
+        assert format_seconds(123.4) == "123"
+        assert format_seconds(3.21) == "3.2"
+        assert format_seconds(0.005) == "0.005"
+
+    def test_format_ratio(self):
+        assert format_ratio(2.345) == "2.35x"
+
+    def test_format_bytes(self):
+        assert format_bytes(1024) == "1.0KB"
+        assert format_bytes(3.3 * 1024**3) == "3.3GB"

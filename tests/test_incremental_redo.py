@@ -1,0 +1,111 @@
+"""Tests for the §8 future-work incremental dirty-node redo."""
+
+import numpy as np
+import pytest
+
+from repro.bench.costmodel import CostModel
+from repro.core.config import VF2BoostConfig
+from repro.core.profile import analytic_trace
+from repro.core.protocol import ProtocolScheduler
+from repro.core.trainer import FederatedTrainer
+from repro.fed.cluster import PAPER_CLUSTER
+from repro.gbdt.binning import bin_dataset
+from repro.gbdt.params import GBDTParams
+
+PARAMS = GBDTParams(n_layers=7, n_bins=20)
+
+
+def _trace(misplaced: float):
+    trace = analytic_trace(2_000_000, 10_000, [40_000], 0.002, 20, 7)
+    for tree in trace.trees:
+        for layer in tree.layers:
+            for node in layer.nodes:
+                node.misplaced_fraction = misplaced
+    return trace
+
+
+def _makespan(trace, incremental: bool) -> float:
+    config = VF2BoostConfig(
+        params=PARAMS,
+        histogram_packing=False,
+        incremental_dirty_redo=incremental,
+    )
+    return ProtocolScheduler(config, CostModel.paper(), PAPER_CLUSTER).schedule(
+        trace
+    ).makespan
+
+
+class TestScheduling:
+    def test_pays_off_below_half_misplaced(self):
+        trace = _trace(0.1)
+        assert _makespan(trace, True) < _makespan(trace, False)
+
+    def test_break_even_at_half(self):
+        trace = _trace(0.5)
+        assert _makespan(trace, True) == pytest.approx(
+            _makespan(trace, False), rel=0.02
+        )
+
+    def test_costs_more_when_everything_moved(self):
+        trace = _trace(1.0)
+        assert _makespan(trace, True) >= _makespan(trace, False)
+
+    def test_saving_monotone_in_misplacement(self):
+        savings = []
+        for fraction in (0.05, 0.25, 0.45):
+            trace = _trace(fraction)
+            savings.append(_makespan(trace, False) / _makespan(trace, True))
+        assert savings[0] >= savings[1] >= savings[2]
+
+
+class TestMeasuredMisplacement:
+    def test_counted_runs_record_fractions(self, small_classification):
+        features, labels = small_classification
+        params = GBDTParams(n_trees=4, n_layers=5, n_bins=10)
+        full = bin_dataset(features, params.n_bins)
+        parties = [
+            full.subset_features(np.arange(5, 10)),
+            full.subset_features(np.arange(0, 5)),
+        ]
+        config = VF2BoostConfig.vf2boost(params=params, crypto_mode="counted")
+        result = FederatedTrainer(config).fit(parties, labels)
+        fractions = [
+            node.misplaced_fraction
+            for tree in result.trace.trees
+            for layer in tree.layers
+            for node in layer.nodes
+            if node.dirty
+        ]
+        assert fractions, "some nodes should be dirty"
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+        # Correlated features mean splits often agree on many rows: the
+        # measured average must be meaningfully below total misplacement.
+        assert float(np.mean(fractions)) < 0.9
+
+    def test_clean_nodes_keep_default(self, small_classification):
+        features, labels = small_classification
+        params = GBDTParams(n_trees=2, n_layers=4, n_bins=10)
+        full = bin_dataset(features, params.n_bins)
+        parties = [
+            full.subset_features(np.arange(2, 10)),
+            full.subset_features(np.arange(0, 2)),
+        ]
+        config = VF2BoostConfig.vf2boost(params=params, crypto_mode="counted")
+        result = FederatedTrainer(config).fit(parties, labels)
+        for tree in result.trace.trees:
+            for layer in tree.layers:
+                for node in layer.nodes:
+                    if not node.dirty:
+                        assert node.misplaced_fraction == 1.0
+
+    def test_layer_misplaced_instances(self):
+        from repro.core.trace import LayerTrace, NodeTrace
+
+        layer = LayerTrace(
+            depth=1,
+            nodes=[
+                NodeTrace(1, 100, owner=1, dirty=True, misplaced_fraction=0.2),
+                NodeTrace(2, 50, owner=0, dirty=False),
+            ],
+        )
+        assert layer.misplaced_instances == pytest.approx(20.0)

@@ -1,0 +1,92 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gbdt.metrics import accuracy, auc, error_rate, logloss, rmse
+
+
+class TestAuc:
+    def test_perfect_ranking(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc(labels, scores) == 1.0
+
+    def test_inverted_ranking(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc(labels, scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=5000).astype(float)
+        scores = rng.random(5000)
+        assert auc(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_averaged(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert auc(labels, scores) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            auc(np.ones(5), np.random.random(5))
+
+    def test_invariant_to_monotone_transform(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, size=200).astype(float)
+        scores = rng.normal(size=200)
+        assert auc(labels, scores) == pytest.approx(
+            auc(labels, 1 / (1 + np.exp(-scores)))
+        )
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15)
+    def test_matches_pairwise_definition(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=40).astype(float)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        scores = rng.normal(size=40)
+        pos = scores[labels > 0.5]
+        neg = scores[labels < 0.5]
+        wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+        assert auc(labels, scores) == pytest.approx(wins / (len(pos) * len(neg)))
+
+
+class TestLogloss:
+    def test_perfect_predictions(self):
+        labels = np.array([0.0, 1.0])
+        assert logloss(labels, np.array([0.0, 1.0])) == pytest.approx(0.0, abs=1e-10)
+
+    def test_uninformative_prediction(self):
+        labels = np.array([0.0, 1.0])
+        assert logloss(labels, np.array([0.5, 0.5])) == pytest.approx(np.log(2))
+
+    def test_clipping_protects_from_inf(self):
+        assert np.isfinite(logloss(np.array([1.0]), np.array([0.0])))
+
+
+class TestRmse:
+    def test_zero_for_exact(self):
+        x = np.array([1.0, 2.0])
+        assert rmse(x, x) == 0.0
+
+    def test_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+
+class TestAccuracy:
+    def test_threshold(self):
+        labels = np.array([0.0, 1.0, 1.0, 0.0])
+        probs = np.array([0.4, 0.6, 0.4, 0.6])
+        assert accuracy(labels, probs) == 0.5
+        assert error_rate(labels, probs) == 0.5
+
+    def test_all_correct(self):
+        labels = np.array([0.0, 1.0])
+        assert accuracy(labels, np.array([0.1, 0.9])) == 1.0

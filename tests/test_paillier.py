@@ -1,0 +1,143 @@
+"""Unit + property tests for the raw Paillier cryptosystem."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.paillier import (
+    ObfuscatorPool,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    derive_insecure_keypair_from_primes,
+    generate_keypair,
+)
+
+PUBLIC, PRIVATE = generate_keypair(256, seed=1)
+
+
+class TestKeyGeneration:
+    def test_key_bits(self):
+        assert PUBLIC.key_bits == 256
+
+    def test_seeded_generation_is_deterministic(self):
+        pub2, _ = generate_keypair(256, seed=1)
+        assert pub2.n == PUBLIC.n
+
+    def test_different_seeds_differ(self):
+        pub2, _ = generate_keypair(256, seed=2)
+        assert pub2.n != PUBLIC.n
+
+    def test_rejects_tiny_keys(self):
+        with pytest.raises(ValueError):
+            generate_keypair(8)
+
+    def test_max_int_leaves_headroom(self):
+        assert PUBLIC.max_int * 3 < PUBLIC.n
+
+    def test_mismatched_private_key_rejected(self):
+        other_pub, other_priv = generate_keypair(256, seed=9)
+        with pytest.raises(ValueError):
+            PaillierPrivateKey(public_key=PUBLIC, p=other_priv.p, q=other_priv.q)
+
+    def test_derive_from_primes(self):
+        pub, priv = derive_insecure_keypair_from_primes(PRIVATE.p, PRIVATE.q)
+        assert pub.n == PUBLIC.n
+        assert priv.raw_decrypt(pub.raw_encrypt(12345)) == 12345
+
+    def test_derive_rejects_composites(self):
+        with pytest.raises(ValueError):
+            derive_insecure_keypair_from_primes(15, PRIVATE.q)
+
+    def test_derive_rejects_equal_primes(self):
+        with pytest.raises(ValueError):
+            derive_insecure_keypair_from_primes(PRIVATE.p, PRIVATE.p)
+
+
+class TestEncryptDecrypt:
+    @given(st.integers(min_value=0, max_value=2**64))
+    @settings(max_examples=40)
+    def test_round_trip(self, plaintext):
+        cipher = PUBLIC.raw_encrypt(plaintext)
+        assert PRIVATE.raw_decrypt(cipher) == plaintext
+
+    def test_rejects_out_of_range_plaintext(self):
+        with pytest.raises(ValueError):
+            PUBLIC.raw_encrypt(PUBLIC.n)
+        with pytest.raises(ValueError):
+            PUBLIC.raw_encrypt(-1)
+
+    def test_rejects_out_of_range_ciphertext(self):
+        with pytest.raises(ValueError):
+            PRIVATE.raw_decrypt(PUBLIC.n_squared)
+
+    def test_probabilistic_encryption(self):
+        # Fresh obfuscators make repeated encryptions of one value differ.
+        a = PUBLIC.raw_encrypt(7)
+        b = PUBLIC.raw_encrypt(7)
+        assert a != b
+        assert PRIVATE.raw_decrypt(a) == PRIVATE.raw_decrypt(b) == 7
+
+    def test_boundary_values(self):
+        for value in (0, 1, PUBLIC.n - 1):
+            assert PRIVATE.raw_decrypt(PUBLIC.raw_encrypt(value)) == value
+
+
+class TestHomomorphicProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**60),
+        st.integers(min_value=0, max_value=2**60),
+    )
+    @settings(max_examples=40)
+    def test_homomorphic_addition(self, u, v):
+        combined = PUBLIC.raw_add(PUBLIC.raw_encrypt(u), PUBLIC.raw_encrypt(v))
+        assert PRIVATE.raw_decrypt(combined) == u + v
+
+    @given(
+        st.integers(min_value=0, max_value=2**40),
+        st.integers(min_value=0, max_value=2**20),
+    )
+    @settings(max_examples=40)
+    def test_scalar_multiplication(self, v, k):
+        scaled = PUBLIC.raw_multiply(PUBLIC.raw_encrypt(v), k)
+        assert PRIVATE.raw_decrypt(scaled) == (v * k) % PUBLIC.n
+
+    @given(
+        st.integers(min_value=0, max_value=2**40),
+        st.integers(min_value=0, max_value=2**40),
+    )
+    @settings(max_examples=40)
+    def test_plaintext_addition(self, v, u):
+        shifted = PUBLIC.raw_add_plain(PUBLIC.raw_encrypt(v), u)
+        assert PRIVATE.raw_decrypt(shifted) == v + u
+
+    def test_addition_wraps_modulo_n(self):
+        near_max = PUBLIC.n - 1
+        total = PUBLIC.raw_add(
+            PUBLIC.raw_encrypt(near_max), PUBLIC.raw_encrypt(2)
+        )
+        assert PRIVATE.raw_decrypt(total) == 1  # (n - 1 + 2) mod n
+
+
+class TestObfuscatorPool:
+    def test_pool_refill_and_take(self):
+        pool = ObfuscatorPool(PUBLIC, size=3)
+        assert len(pool) == 3
+        pool.take()
+        assert len(pool) == 2
+
+    def test_take_from_empty_pool_generates(self):
+        pool = ObfuscatorPool(PUBLIC)
+        obf = pool.take()
+        cipher = PUBLIC.raw_encrypt(99, obfuscator=obf)
+        assert PRIVATE.raw_decrypt(cipher) == 99
+
+    def test_pooled_encryption_round_trip(self):
+        pool = ObfuscatorPool(PUBLIC, size=5)
+        for value in range(5):
+            cipher = PUBLIC.raw_encrypt(value, obfuscator=pool.take())
+            assert PRIVATE.raw_decrypt(cipher) == value
+
+
+class TestPublicKeyEquality:
+    def test_hashable(self):
+        assert hash(PUBLIC) == hash(PaillierPublicKey(n=PUBLIC.n))

@@ -1,0 +1,183 @@
+"""Tests for the protocol scheduler: overlap semantics and ablations."""
+
+import pytest
+
+from repro.bench.costmodel import CostModel
+from repro.core.config import VF2BoostConfig
+from repro.core.profile import analytic_trace
+from repro.core.protocol import ProtocolScheduler
+from repro.fed.cluster import PAPER_CLUSTER, ClusterSpec
+from repro.gbdt.params import GBDTParams
+
+COST = CostModel.paper()
+PARAMS = GBDTParams(n_layers=5, n_bins=20)
+
+
+def _trace(n=1_000_000, fa=5000, fb=5000, layers=5, ratio=None, trees=1):
+    return analytic_trace(
+        n, fb, [fa], density=0.01, n_bins=20, n_layers=layers,
+        n_trees=trees, active_split_ratio=ratio,
+    )
+
+
+def _schedule(trace, **flags):
+    config = VF2BoostConfig(params=PARAMS, **flags)
+    return ProtocolScheduler(config, COST, PAPER_CLUSTER).schedule(trace)
+
+
+class TestAblationDirections:
+    """Each §4/§5 optimization must speed the schedule up."""
+
+    def test_blaster_speeds_up_root(self):
+        trace = _trace()
+        base = _schedule(
+            trace, blaster_encryption=False, reordered_accumulation=False,
+            optimistic_split=False, histogram_packing=False,
+        )
+        blaster = _schedule(
+            trace, blaster_encryption=True, reordered_accumulation=False,
+            optimistic_split=False, histogram_packing=False,
+        )
+        seq_root = (
+            base.root_breakdown["Enc"]
+            + base.root_breakdown["Comm"]
+            + base.root_breakdown["HAdd"]
+        )
+        assert blaster.root_breakdown["RootMakespan"] < seq_root
+        # Pipelined root cannot beat its slowest stage.
+        slowest = max(
+            blaster.root_breakdown["Enc"],
+            blaster.root_breakdown["Comm"],
+            blaster.root_breakdown["HAdd"],
+        )
+        assert blaster.root_breakdown["RootMakespan"] >= slowest * 0.99
+
+    def test_reordered_speeds_up(self):
+        trace = _trace()
+        slow = _schedule(
+            trace, reordered_accumulation=False, optimistic_split=False,
+            histogram_packing=False, blaster_encryption=False,
+        )
+        fast = _schedule(
+            trace, reordered_accumulation=True, optimistic_split=False,
+            histogram_packing=False, blaster_encryption=False,
+        )
+        assert fast.makespan < slow.makespan
+
+    def test_packing_speeds_up_and_saves_bytes(self):
+        trace = _trace()
+        raw = _schedule(trace, histogram_packing=False, optimistic_split=False)
+        packed = _schedule(trace, histogram_packing=True, optimistic_split=False)
+        assert packed.makespan < raw.makespan
+        assert packed.bytes_per_tree < raw.bytes_per_tree
+
+    def test_optimistic_speeds_up(self):
+        trace = _trace()
+        sync = _schedule(trace, optimistic_split=False, histogram_packing=False)
+        optimistic = _schedule(trace, optimistic_split=True, histogram_packing=False)
+        assert optimistic.makespan < sync.makespan
+
+    def test_all_optimizations_best(self):
+        trace = _trace()
+        base = _schedule(
+            trace, blaster_encryption=False, reordered_accumulation=False,
+            optimistic_split=False, histogram_packing=False,
+        )
+        full = _schedule(trace)
+        assert full.makespan < base.makespan
+        assert base.makespan / full.makespan > 1.5
+
+
+class TestOptimisticSensitivity:
+    def test_more_active_splits_help_optimism(self):
+        # Failure probability D_A/(D_A+D_B): optimism gains more when B
+        # owns more splits (§4.2 Discussion, Table 2).
+        gains = []
+        for ratio in (0.2, 0.8):
+            trace = _trace(ratio=ratio)
+            sync = _schedule(trace, optimistic_split=False, histogram_packing=False)
+            optimistic = _schedule(
+                trace, optimistic_split=True, histogram_packing=False
+            )
+            gains.append(sync.makespan / optimistic.makespan)
+        assert gains[1] > gains[0]
+
+    def test_zero_dirty_case(self):
+        trace = _trace(ratio=1.0)
+        optimistic = _schedule(trace, optimistic_split=True, histogram_packing=False)
+        sync = _schedule(trace, optimistic_split=False, histogram_packing=False)
+        assert optimistic.makespan <= sync.makespan
+
+
+class TestMockMode:
+    def test_mock_much_faster_than_crypto(self):
+        trace = _trace()
+        crypto = _schedule(
+            trace, blaster_encryption=False, reordered_accumulation=False,
+            optimistic_split=False, histogram_packing=False,
+        )
+        mock = _schedule(
+            trace, blaster_encryption=False, reordered_accumulation=False,
+            optimistic_split=False, histogram_packing=False, crypto_mode="mock",
+        )
+        assert crypto.makespan / mock.makespan > 10
+
+    def test_mock_ships_plaintext_bytes(self):
+        trace = _trace()
+        crypto = _schedule(trace, histogram_packing=False, optimistic_split=False)
+        mock = _schedule(
+            trace, histogram_packing=False, optimistic_split=False,
+            crypto_mode="mock",
+        )
+        assert mock.bytes_per_tree < crypto.bytes_per_tree / 10
+
+
+class TestScaling:
+    def test_makespan_grows_with_instances(self):
+        small = _schedule(_trace(n=100_000))
+        large = _schedule(_trace(n=1_000_000))
+        assert large.makespan > small.makespan * 3
+
+    def test_more_workers_faster(self):
+        trace = _trace()
+        config = VF2BoostConfig(params=PARAMS)
+        slow = ProtocolScheduler(
+            config, COST, PAPER_CLUSTER.scaled_workers(4)
+        ).schedule(trace)
+        fast = ProtocolScheduler(
+            config, COST, PAPER_CLUSTER.scaled_workers(16)
+        ).schedule(trace)
+        assert fast.makespan < slow.makespan
+        # ... but sublinearly.
+        assert slow.makespan / fast.makespan < 4.0
+
+    def test_multi_party_slightly_slower(self):
+        two = analytic_trace(500_000, 500, [500], 0.1, 20, 5)
+        three = analytic_trace(500_000, 333, [333, 333], 0.1, 20, 5)
+        config2 = VF2BoostConfig(params=PARAMS)
+        config3 = VF2BoostConfig(params=PARAMS, n_passive_parties=2)
+        t2 = ProtocolScheduler(config2, COST, PAPER_CLUSTER).schedule(two).makespan
+        t3 = ProtocolScheduler(config3, COST, PAPER_CLUSTER).schedule(three).makespan
+        assert t3 == pytest.approx(t2, rel=0.35)
+
+    def test_per_tree_lengths(self):
+        trace = _trace(trees=3)
+        result = _schedule(trace)
+        assert len(result.per_tree) == 3
+        assert result.makespan == pytest.approx(sum(result.per_tree))
+
+
+class TestReporting:
+    def test_phase_totals_cover_known_phases(self):
+        result = _schedule(_trace())
+        for phase in ("Enc", "CipherComm", "BuildHistA", "FindSplitA", "FindSplitB"):
+            assert phase in result.phase_totals
+
+    def test_utilization_bounded(self):
+        result = _schedule(_trace())
+        for value in result.utilization.values():
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_gantt_nonempty(self):
+        result = _schedule(_trace())
+        assert "A1" in result.gantt

@@ -1,0 +1,282 @@
+"""Tests for the federated trainer: losslessness, privacy, traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import VF2BoostConfig
+from repro.core.trainer import FederatedTrainer
+from repro.fed.messages import (
+    CountedCipherPayload,
+    EncryptedGradHessBatch,
+    EncryptedHistogramMessage,
+    InstancePlacement,
+    PackedHistogramMessage,
+    SplitAnswer,
+    SplitDecision,
+)
+from repro.gbdt.binning import bin_dataset
+from repro.gbdt.boosting import GBDTTrainer
+from repro.gbdt.params import GBDTParams
+
+
+class TestLosslessness:
+    """The protocol must match co-located plaintext training exactly."""
+
+    def test_counted_mode_matches_plaintext(
+        self, small_classification, small_params, party_datasets, counted_config
+    ):
+        features, labels = small_classification
+        plaintext = GBDTTrainer(small_params)
+        plaintext.fit(features, labels)
+        result = FederatedTrainer(counted_config).fit(*party_datasets)
+        federated_losses = [r.train_loss for r in result.history]
+        plaintext_losses = [r.train_loss for r in plaintext.history]
+        assert federated_losses == pytest.approx(plaintext_losses, abs=1e-12)
+
+    def test_real_crypto_matches_plaintext(
+        self, small_classification, small_params, real_config
+    ):
+        features, labels = small_classification
+        features, labels = features[:120], labels[:120]
+        params = small_params.replace(n_trees=2, n_layers=3, n_bins=6)
+        full = bin_dataset(features, params.n_bins)
+        parties = [
+            full.subset_features(np.arange(5, 10)),
+            full.subset_features(np.arange(0, 5)),
+        ]
+        plaintext = GBDTTrainer(params)
+        plaintext.fit_binned(full, labels)
+        config = real_config.replace(params=params)
+        result = FederatedTrainer(config).fit(parties, labels)
+        federated = [r.train_loss for r in result.history]
+        reference = [r.train_loss for r in plaintext.history]
+        assert federated == pytest.approx(reference, abs=1e-4)
+
+    def test_counted_equals_real_models(self, small_classification, small_params):
+        features, labels = small_classification
+        features, labels = features[:100], labels[:100]
+        params = small_params.replace(n_trees=2, n_layers=3, n_bins=6)
+        full = bin_dataset(features, params.n_bins)
+        parties = [
+            full.subset_features(np.arange(5, 10)),
+            full.subset_features(np.arange(0, 5)),
+        ]
+        counted = FederatedTrainer(
+            VF2BoostConfig.vf2boost(params=params, crypto_mode="counted")
+        ).fit(parties, labels)
+        real = FederatedTrainer(
+            VF2BoostConfig.vf2boost(
+                params=params, crypto_mode="real", key_bits=256, exponent_jitter=2
+            )
+        ).fit(parties, labels)
+        for t_counted, t_real in zip(counted.model.trees, real.model.trees):
+            for node_id, node in t_counted.nodes.items():
+                other = t_real.nodes[node_id]
+                assert node.is_leaf == other.is_leaf
+                if not node.is_leaf:
+                    assert (node.owner, node.feature, node.bin_index) == (
+                        other.owner, other.feature, other.bin_index,
+                    )
+
+    @pytest.mark.parametrize("packing", [False, True])
+    @pytest.mark.parametrize("reordered", [False, True])
+    def test_real_crypto_flag_combinations(
+        self, small_classification, packing, reordered
+    ):
+        features, labels = small_classification
+        features, labels = features[:80], labels[:80]
+        params = GBDTParams(n_trees=1, n_layers=3, n_bins=5)
+        full = bin_dataset(features, params.n_bins)
+        parties = [
+            full.subset_features(np.arange(5, 10)),
+            full.subset_features(np.arange(0, 5)),
+        ]
+        plaintext = GBDTTrainer(params)
+        plaintext.fit_binned(full, labels)
+        config = VF2BoostConfig(
+            params=params,
+            crypto_mode="real",
+            key_bits=256,
+            exponent_jitter=2,
+            histogram_packing=packing,
+            reordered_accumulation=reordered,
+        )
+        result = FederatedTrainer(config).fit(parties, labels)
+        assert result.history[0].train_loss == pytest.approx(
+            plaintext.history[0].train_loss, abs=1e-4
+        )
+
+
+class TestFederatedGainOverSingleParty:
+    def test_federated_beats_party_b_only(self, small_classification, small_params):
+        features, labels = small_classification
+        train_f, valid_f = features[:300], features[300:]
+        train_l, valid_l = labels[:300], labels[300:]
+        params = small_params.replace(n_trees=8, n_layers=5)
+        # Party B alone (columns 5..9).
+        b_only = GBDTTrainer(params)
+        b_only.fit(train_f[:, 5:], train_l, valid_f[:, 5:], valid_l)
+        # Federated over both parties.
+        full = bin_dataset(train_f, params.n_bins)
+        parties = [
+            full.subset_features(np.arange(5, 10)),
+            full.subset_features(np.arange(0, 5)),
+        ]
+        from repro.bench.experiments import _bin_with_reference
+
+        valid_codes_full = _bin_with_reference(valid_f, full)
+        valid_codes = {0: valid_codes_full[:, 5:], 1: valid_codes_full[:, :5]}
+        config = VF2BoostConfig.vf2boost(params=params, crypto_mode="counted")
+        result = FederatedTrainer(config).fit(parties, train_l, valid_codes, valid_l)
+        assert result.history[-1].valid_auc > b_only.history[-1].valid_auc
+
+
+class TestPrivacyInvariants:
+    """What crosses the channel must never expose labels or features."""
+
+    def test_real_mode_gradient_stream_is_ciphertext(
+        self, small_classification, real_config
+    ):
+        features, labels = small_classification
+        features, labels = features[:60], labels[:60]
+        params = real_config.params.replace(n_trees=1, n_layers=3, n_bins=5)
+        full = bin_dataset(features, params.n_bins)
+        parties = [
+            full.subset_features(np.arange(5, 10)),
+            full.subset_features(np.arange(0, 5)),
+        ]
+        result = FederatedTrainer(real_config.replace(params=params)).fit(
+            parties, labels
+        )
+        for message in result.channel.log:
+            if message.receiver != 0 and isinstance(
+                message,
+                (EncryptedGradHessBatch, EncryptedHistogramMessage, PackedHistogramMessage),
+            ):
+                assert message.carries_ciphertext_only
+
+    def test_passive_split_disclosed_as_bin_index_only(
+        self, party_datasets, counted_config
+    ):
+        result = FederatedTrainer(counted_config).fit(*party_datasets)
+        decisions = [
+            m for m in result.channel.log if isinstance(m, SplitDecision)
+        ]
+        assert decisions, "some splits should belong to Party A"
+        for decision in decisions:
+            # The only payload toward the owner is a flat bin index.
+            assert decision.bin_flat_index >= 0
+            assert not hasattr(decision, "threshold")
+
+    def test_thresholds_of_passive_splits_unknown_to_model_consumers(
+        self, party_datasets, counted_config
+    ):
+        result = FederatedTrainer(counted_config).fit(*party_datasets)
+        owners = result.model.split_counts_by_owner()
+        assert 1 in owners, "Party A should win some splits"
+        # Placement crosses as bitmaps (one bit per instance).
+        placements = [
+            m
+            for m in result.channel.log
+            if isinstance(m, (InstancePlacement, SplitAnswer))
+        ]
+        assert placements
+        for message in placements:
+            assert message.placement.dtype == np.bool_
+
+    def test_counted_mode_sends_only_counters(self, party_datasets, counted_config):
+        result = FederatedTrainer(counted_config).fit(*party_datasets)
+        bulk = [
+            m for m in result.channel.log if isinstance(m, CountedCipherPayload)
+        ]
+        assert bulk
+        assert all(m.n_ciphers > 0 for m in bulk)
+
+
+class TestTraceRecording:
+    def test_trace_shapes(self, party_datasets, counted_config):
+        result = FederatedTrainer(counted_config).fit(*party_datasets)
+        trace = result.trace
+        assert len(trace.trees) == counted_config.params.n_trees
+        assert trace.n_instances == party_datasets[0][0].n_instances
+        assert trace.n_parties == 2
+
+    def test_dirty_flags_match_owners(self, party_datasets, counted_config):
+        result = FederatedTrainer(counted_config).fit(*party_datasets)
+        for tree in result.trace.trees:
+            for layer in tree.layers:
+                for node in layer.nodes:
+                    if node.is_split:
+                        assert node.dirty == (node.owner != 0)
+
+    def test_split_ratio_tracks_feature_share(self, small_classification):
+        # With B owning 8 of 10 informative columns, B should win most splits.
+        features, labels = small_classification
+        params = GBDTParams(n_trees=4, n_layers=4, n_bins=10)
+        full = bin_dataset(features, params.n_bins)
+        parties = [
+            full.subset_features(np.arange(2, 10)),  # B: 8 columns
+            full.subset_features(np.arange(0, 2)),  # A: 2 columns
+        ]
+        config = VF2BoostConfig.vf2boost(params=params, crypto_mode="counted")
+        result = FederatedTrainer(config).fit(parties, labels)
+        assert result.trace.split_ratio_of_active() > 0.5
+
+    def test_bytes_accounted(self, party_datasets, counted_config):
+        result = FederatedTrainer(counted_config).fit(*party_datasets)
+        assert result.channel.total_bytes() > 0
+
+    def test_packing_reduces_counted_bytes(self, party_datasets, small_params):
+        packed_cfg = VF2BoostConfig.vf2boost(
+            params=small_params, crypto_mode="counted"
+        )
+        raw_cfg = packed_cfg.replace(histogram_packing=False)
+        packed_bytes = (
+            FederatedTrainer(packed_cfg).fit(*party_datasets).channel.bytes_toward(0)
+        )
+        raw_bytes = (
+            FederatedTrainer(raw_cfg).fit(*party_datasets).channel.bytes_toward(0)
+        )
+        assert packed_bytes < raw_bytes
+
+
+class TestMultiParty:
+    def test_three_party_training(self, small_classification):
+        features, labels = small_classification
+        params = GBDTParams(n_trees=2, n_layers=4, n_bins=8)
+        full = bin_dataset(features, params.n_bins)
+        parties = [
+            full.subset_features(np.arange(6, 10)),  # B
+            full.subset_features(np.arange(0, 3)),  # A1
+            full.subset_features(np.arange(3, 6)),  # A2
+        ]
+        config = VF2BoostConfig.vf2boost(
+            params=params, crypto_mode="counted", n_passive_parties=2
+        )
+        result = FederatedTrainer(config).fit(parties, labels)
+        assert len(result.model.trees) == 2
+        assert result.trace.n_parties == 3
+        # Matches plaintext co-located training.
+        plaintext = GBDTTrainer(params)
+        plaintext.fit(features, labels)
+        assert [r.train_loss for r in result.history] == pytest.approx(
+            [r.train_loss for r in plaintext.history], abs=1e-10
+        )
+
+
+class TestValidation:
+    def test_misaligned_instances_rejected(self, party_datasets, counted_config):
+        parties, labels = party_datasets
+        truncated = parties[1].subset_instances(np.arange(10))
+        with pytest.raises(ValueError):
+            FederatedTrainer(counted_config).fit([parties[0], truncated], labels)
+
+    def test_label_mismatch_rejected(self, party_datasets, counted_config):
+        parties, labels = party_datasets
+        with pytest.raises(ValueError):
+            FederatedTrainer(counted_config).fit(parties, labels[:-1])
+
+    def test_single_party_rejected(self, party_datasets, counted_config):
+        parties, labels = party_datasets
+        with pytest.raises(ValueError):
+            FederatedTrainer(counted_config).fit(parties[:1], labels)

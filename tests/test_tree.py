@@ -1,0 +1,125 @@
+"""Tests for the tree structure, growth bookkeeping and prediction."""
+
+import numpy as np
+import pytest
+
+from repro.gbdt.tree import DecisionTree, TreeNode, partition_instances
+
+
+class TestTreeNode:
+    def test_heap_children(self):
+        node = TreeNode(node_id=3, depth=2)
+        assert node.left_child == 7
+        assert node.right_child == 8
+
+
+class TestSplitAndLeaves:
+    def test_split_creates_children(self):
+        tree = DecisionTree()
+        left, right = tree.split_node(0, owner=0, feature=2, bin_index=3,
+                                      threshold=1.5, gain=0.7)
+        assert not tree.root.is_leaf
+        assert left.node_id == 1 and right.node_id == 2
+        assert left.depth == right.depth == 1
+        assert tree.n_leaves == 2
+        assert tree.n_internal == 1
+
+    def test_double_split_rejected(self):
+        tree = DecisionTree()
+        tree.split_node(0, 0, 0, 0, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            tree.split_node(0, 0, 0, 0, 0.0, 0.1)
+
+    def test_leaf_weight_assignment(self):
+        tree = DecisionTree()
+        tree.set_leaf_weight(0, 0.5)
+        assert tree.root.weight == 0.5
+
+    def test_leaf_weight_on_internal_rejected(self):
+        tree = DecisionTree()
+        tree.split_node(0, 0, 0, 0, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            tree.set_leaf_weight(0, 1.0)
+
+    def test_nodes_at_depth(self):
+        tree = DecisionTree()
+        tree.split_node(0, 0, 0, 0, 0.0, 0.1)
+        layer = tree.nodes_at_depth(1)
+        assert [n.node_id for n in layer] == [1, 2]
+
+
+class TestUnsplit:
+    def test_rollback_restores_leaf(self):
+        tree = DecisionTree()
+        tree.split_node(0, owner=1, feature=4, bin_index=2, threshold=0.5, gain=0.3)
+        tree.split_node(1, owner=0, feature=1, bin_index=1, threshold=0.1, gain=0.2)
+        tree.unsplit_node(0)
+        assert tree.root.is_leaf
+        assert len(tree.nodes) == 1
+        assert tree.root.feature == -1
+
+    def test_rollback_on_leaf_is_noop(self):
+        tree = DecisionTree()
+        tree.unsplit_node(0)
+        assert tree.root.is_leaf
+
+
+class TestPrediction:
+    def _stump(self):
+        tree = DecisionTree()
+        tree.split_node(0, owner=0, feature=0, bin_index=2, threshold=0.0, gain=1.0)
+        tree.set_leaf_weight(1, -1.0)
+        tree.set_leaf_weight(2, 1.0)
+        return tree
+
+    def test_predict_codes(self):
+        tree = self._stump()
+        codes = np.array([[0], [2], [3], [5]], dtype=np.uint16)
+        assert tree.predict_codes(codes).tolist() == [-1.0, -1.0, 1.0, 1.0]
+
+    def test_predict_federated_routes_by_owner(self):
+        tree = DecisionTree()
+        tree.split_node(0, owner=1, feature=0, bin_index=1, threshold=0.0, gain=1.0)
+        tree.set_leaf_weight(1, 10.0)
+        tree.set_leaf_weight(2, 20.0)
+        codes_a = np.array([[0], [3]], dtype=np.uint16)  # owner 1's feature
+        codes_b = np.array([[9], [9]], dtype=np.uint16)  # irrelevant
+        out = tree.predict_federated({0: codes_b, 1: codes_a})
+        assert out.tolist() == [10.0, 20.0]
+
+    def test_two_level_federated(self):
+        tree = DecisionTree()
+        tree.split_node(0, owner=0, feature=0, bin_index=0, threshold=0.0, gain=1.0)
+        tree.split_node(2, owner=1, feature=0, bin_index=0, threshold=0.0, gain=0.5)
+        tree.set_leaf_weight(1, 1.0)
+        tree.set_leaf_weight(5, 2.0)
+        tree.set_leaf_weight(6, 3.0)
+        codes_b = np.array([[0], [1], [1]], dtype=np.uint16)
+        codes_a = np.array([[0], [0], [1]], dtype=np.uint16)
+        out = tree.predict_federated({0: codes_b, 1: codes_a})
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_max_depth(self):
+        tree = self._stump()
+        assert tree.max_depth() == 1
+
+
+class TestPartitionInstances:
+    def test_partition(self):
+        column = np.array([0, 1, 2, 3, 4], dtype=np.uint16)
+        rows = np.array([0, 2, 4])
+        left, right = partition_instances(column, rows, bin_index=2)
+        assert left.tolist() == [0, 2]
+        assert right.tolist() == [4]
+
+    def test_partition_preserves_all(self):
+        column = np.random.default_rng(0).integers(0, 8, size=50).astype(np.uint16)
+        rows = np.arange(50)
+        left, right = partition_instances(column, rows, 3)
+        assert sorted(left.tolist() + right.tolist()) == rows.tolist()
+
+    def test_empty_rows(self):
+        left, right = partition_instances(
+            np.zeros(5, dtype=np.uint16), np.array([], dtype=np.int64), 2
+        )
+        assert left.size == 0 and right.size == 0
