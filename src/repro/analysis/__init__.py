@@ -1,0 +1,36 @@
+"""Static analysis of the reproduction: privacy, crypto, determinism, schedules.
+
+Four checkers enforce the repo's cross-cutting invariants on every
+commit (``python -m repro.analysis --strict``; a tier-1 pytest wrapper
+runs the same gate):
+
+* :mod:`repro.analysis.taint` — party-boundary taint: label-derived
+  plaintext must never flow into a cross-party message toward a passive
+  party (``PB*`` rules; static complement of the runtime
+  :class:`~repro.fed.channel.PrivacyViolation` guard);
+* :mod:`repro.analysis.cryptolint` — Paillier misuse: cross-key
+  arithmetic, raw-layer/exponent bypass, uncounted ops (``CR*``);
+* :mod:`repro.analysis.determinism` — wall clock, unseeded RNG and
+  set-order hazards in simulation-reachable modules (``DET*``);
+* :mod:`repro.analysis.schedule` — cycles, dangling dependencies, lane
+  conflicts and causality violations in the task graphs emitted by
+  :class:`~repro.core.protocol.ProtocolScheduler` (``SCH*``).
+
+Findings share one reporting layer (:mod:`repro.analysis.findings`)
+with ``# repro: allow[RULE]`` inline suppressions and an optional
+coarse baseline for incremental adoption.
+"""
+
+from repro.analysis.astutils import PackageIndex
+from repro.analysis.cli import main, run_analysis
+from repro.analysis.findings import Baseline, Finding, Reporter, Severity
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "PackageIndex",
+    "Reporter",
+    "Severity",
+    "main",
+    "run_analysis",
+]

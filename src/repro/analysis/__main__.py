@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` — the static-analysis CI gate."""
+
+from repro.analysis.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,166 @@
+"""``python -m repro.analysis`` — run every static checker over the repo.
+
+Usage::
+
+    python -m repro.analysis                 # report findings, exit 0
+    python -m repro.analysis --strict        # exit 1 on any finding (CI gate)
+    python -m repro.analysis --format json
+    python -m repro.analysis --rules PB001,DET002
+    python -m repro.analysis --write-baseline analysis-baseline.json
+    python -m repro.analysis --baseline analysis-baseline.json --strict
+
+The four checkers (party-boundary taint, Paillier misuse, determinism,
+schedule-graph validation) run over the installed ``repro`` package by
+default; ``--root``/``--package`` point them at another tree (the test
+fixtures use this).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import cryptolint, determinism, schedule, taint
+from repro.analysis.astutils import PackageIndex
+from repro.analysis.findings import Baseline, Finding, Reporter
+
+__all__ = ["main", "run_analysis", "RULE_FAMILIES"]
+
+RULE_FAMILIES = {
+    "PB": "party-boundary taint (plaintext label-derived data toward a passive party)",
+    "CR": "Paillier misuse (cross-key arithmetic, raw-layer bypass, uncounted ops)",
+    "DET": "determinism (wall clock, unseeded RNG, set-iteration order)",
+    "SCH": "schedule graphs (cycles, dangling deps, lane conflicts, causality)",
+}
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory."""
+    import repro
+
+    return Path(repro.__file__).parent
+
+
+def run_analysis(
+    root: Path | None = None,
+    package: str = "repro",
+    with_schedule: bool = True,
+    rules: set[str] | None = None,
+) -> Reporter:
+    """Run all checkers; returns the merged reporter."""
+    index = PackageIndex(root or default_root(), package=package)
+    merged = Reporter()
+    merged.extend(taint.run(index))
+    merged.extend(cryptolint.run(index))
+    merged.extend(determinism.run(index))
+    if with_schedule:
+        merged.extend(schedule.self_check())
+    if rules:
+        merged.findings = [f for f in merged.findings if f.rule_id in rules]
+    return merged
+
+
+def _render_text(findings: list[Finding], suppressed: int, out) -> None:
+    for finding in findings:
+        print(finding.render(), file=out)
+    summary = f"{len(findings)} finding(s)"
+    if suppressed:
+        summary += f", {suppressed} suppressed via '# repro: allow[...]'"
+    print(summary, file=out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point. Returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Static privacy/crypto/determinism/schedule analysis "
+        "of the VF2Boost reproduction.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package directory to scan (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--package",
+        default="repro",
+        help="dotted package name of the scanned tree (default: repro)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any unsuppressed finding remains (CI gate)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to report (default: all)",
+    )
+    parser.add_argument(
+        "--no-schedule",
+        action="store_true",
+        help="skip the (non-static) schedule-graph self check",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline JSON; findings frozen there do not fail --strict",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        help="freeze the current findings into a baseline JSON and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe the rule families and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for prefix, description in RULE_FAMILIES.items():
+            print(f"{prefix}*: {description}")
+        return 0
+
+    if args.root is not None and not args.root.is_dir():
+        parser.error(f"--root {args.root} is not a directory")
+
+    rules = (
+        {token.strip() for token in args.rules.split(",") if token.strip()}
+        if args.rules
+        else None
+    )
+    reporter = run_analysis(
+        root=args.root,
+        package=args.package,
+        with_schedule=not args.no_schedule,
+        rules=rules,
+    )
+    findings = reporter.sorted_findings()
+
+    if args.write_baseline is not None:
+        Baseline.from_findings(findings).save(args.write_baseline)
+        print(f"baseline with {len(findings)} finding(s) -> {args.write_baseline}")
+        return 0
+    if args.baseline is not None:
+        findings = Baseline.load(args.baseline).filter_new(findings)
+
+    if args.format == "json":
+        payload = {
+            "findings": [f.to_json() for f in findings],
+            "suppressed": len(reporter.suppressed),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        _render_text(findings, len(reporter.suppressed), sys.stdout)
+
+    if args.strict and findings:
+        return 1
+    return 0

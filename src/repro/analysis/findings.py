@@ -1,0 +1,234 @@
+"""Shared reporting layer of the static analyzers.
+
+Every checker emits :class:`Finding` objects — (file, line, rule id,
+severity, message) — through a :class:`Reporter`, which applies the
+inline suppression syntax
+
+    # repro: allow[RULE1,RULE2]
+
+A suppression comment silences matching findings anchored on the same
+line, on any line of the same multi-line statement, or on the line
+directly above (a standalone comment).  ``allow[*]`` silences every
+rule on that line; use sparingly.  The file-level form
+
+    # repro: allow-file[RULE]
+
+(conventionally placed in the module header) silences a rule for the
+whole file — meant for modules whose *purpose* conflicts with a rule,
+e.g. the measured-mode benchmark modules that call the wall clock by
+design.
+
+A coarse *baseline* file (JSON, per-``(rule, file)`` counts) lets the
+analyzer be adopted on a repo with pre-existing findings and then
+ratcheted: runs fail only when a ``(rule, file)`` pair exceeds its
+frozen count.  The repo itself is kept clean, so CI runs with no
+baseline at all.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "Reporter",
+    "Baseline",
+    "parse_suppressions",
+    "SUPPRESSION_RE",
+    "FILE_SUPPRESSION_RE",
+    "FILE_WIDE",
+]
+
+#: ``# repro: allow[PB001]`` / ``# repro: allow[PB001, DET002]`` / ``allow[*]``
+SUPPRESSION_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+#: ``# repro: allow-file[DET001]`` — whole-file suppression for a rule.
+FILE_SUPPRESSION_RE = re.compile(r"#\s*repro:\s*allow-file\[([A-Za-z0-9_*,\s]+)\]")
+
+#: pseudo line number under which file-level suppressions are stored
+FILE_WIDE = 0
+
+
+class Severity:
+    """Finding severities, ordered by how loudly CI should complain."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer diagnosis.
+
+    Attributes:
+        rule_id: stable identifier, e.g. ``PB001`` (taint), ``CR002``
+            (crypto misuse), ``DET001`` (determinism), ``SCH003``
+            (schedule graph).
+        severity: one of :class:`Severity`'s constants.
+        file: path of the offending file, repo-relative when possible;
+            schedule-graph findings use a logical ``<schedule:...>`` name.
+        line: 1-based line number (0 for whole-file / graph findings).
+        message: human-readable description of the defect.
+        checker: name of the checker that produced the finding.
+    """
+
+    rule_id: str
+    severity: str
+    file: str
+    line: int
+    message: str
+    checker: str = ""
+
+    def render(self) -> str:
+        """One-line gcc-style rendering."""
+        return f"{self.file}:{self.line}: {self.severity}: [{self.rule_id}] {self.message}"
+
+    def to_json(self) -> dict:
+        """JSON-serializable form (used by ``--format json`` and baselines)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "checker": self.checker,
+        }
+
+
+def _parse_rules(group: str) -> set[str]:
+    return {token.strip() for token in group.split(",") if token.strip()}
+
+
+def parse_suppressions(source_lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule ids allowed on them.
+
+    File-level ``allow-file`` rules are collected under the pseudo line
+    :data:`FILE_WIDE` (0), which no real finding anchors on.
+    """
+    allowed: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        file_match = FILE_SUPPRESSION_RE.search(text)
+        if file_match is not None:
+            rules = _parse_rules(file_match.group(1))
+            if rules:
+                allowed.setdefault(FILE_WIDE, set()).update(rules)
+            continue
+        match = SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        rules = _parse_rules(match.group(1))
+        if rules:
+            allowed[lineno] = rules
+    return allowed
+
+
+@dataclass
+class Reporter:
+    """Collects findings and filters suppressed ones.
+
+    Checkers call :meth:`emit` with the finding plus the suppression map
+    and line span of the anchoring statement; the reporter drops the
+    finding when an ``allow`` comment covers it.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+
+    def emit(
+        self,
+        finding: Finding,
+        suppressions: dict[int, set[str]] | None = None,
+        span: tuple[int, int] | None = None,
+    ) -> None:
+        """Record a finding unless an ``allow`` comment covers it.
+
+        Args:
+            finding: the diagnosis.
+            suppressions: per-line allowed rules of the finding's file.
+            span: inclusive (first, last) line range of the anchoring
+                statement; defaults to the finding's own line.
+        """
+        if suppressions:
+            file_rules = suppressions.get(FILE_WIDE)
+            if file_rules and (finding.rule_id in file_rules or "*" in file_rules):
+                self.suppressed.append(finding)
+                return
+            first, last = span if span is not None else (finding.line, finding.line)
+            # The line above a statement hosts standalone allow comments.
+            for lineno in range(max(1, first - 1), last + 1):
+                rules = suppressions.get(lineno)
+                if rules and (finding.rule_id in rules or "*" in rules):
+                    self.suppressed.append(finding)
+                    return
+        self.findings.append(finding)
+
+    def extend(self, other: "Reporter") -> None:
+        """Merge another reporter's findings into this one."""
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+
+    def sorted_findings(self) -> list[Finding]:
+        """Findings ordered by severity, then file, then line."""
+        return sorted(
+            self.findings,
+            key=lambda f: (Severity.ORDER.get(f.severity, 9), f.file, f.line, f.rule_id),
+        )
+
+    def counts_by_rule(self) -> Counter:
+        """Histogram of finding counts per rule id."""
+        return Counter(f.rule_id for f in self.findings)
+
+
+class Baseline:
+    """Frozen per-``(rule, file)`` finding counts.
+
+    Matching on exact line numbers would churn with every edit; counts
+    per rule and file are stable enough to ratchet on, at the cost of
+    allowing a finding to "move" within a file. Documented trade-off.
+    """
+
+    def __init__(self, counts: dict[str, int] | None = None) -> None:
+        self.counts: Counter = Counter(counts or {})
+
+    @staticmethod
+    def _key(finding: Finding) -> str:
+        return f"{finding.rule_id}:{finding.file}"
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """Freeze the given findings into a baseline."""
+        baseline = cls()
+        for finding in findings:
+            baseline.counts[cls._key(finding)] += 1
+        return baseline
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline JSON file written by :meth:`save`."""
+        data = json.loads(Path(path).read_text())
+        return cls(data.get("counts", {}))
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline as JSON."""
+        payload = {"version": 1, "counts": dict(sorted(self.counts.items()))}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def filter_new(self, findings: list[Finding]) -> list[Finding]:
+        """Return only findings exceeding their frozen count."""
+        budget = Counter(self.counts)
+        fresh: list[Finding] = []
+        for finding in findings:
+            key = self._key(finding)
+            if budget[key] > 0:
+                budget[key] -= 1
+            else:
+                fresh.append(finding)
+        return fresh

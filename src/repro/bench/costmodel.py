@@ -18,6 +18,9 @@ the competitors' measured slowdowns as multipliers, as DESIGN.md §1
 documents.
 """
 
+# repro: allow-file[DET001] -- CostModel.measured() times real crypto
+# ops with the wall clock by design; simulations use CostModel.paper().
+
 from __future__ import annotations
 
 import time

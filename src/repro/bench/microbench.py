@@ -7,6 +7,9 @@ and decryption with polynomial packing.  Values are generated from a
 normal distribution exactly as the paper describes.
 """
 
+# repro: allow-file[DET001] -- measured mode: this module's purpose is
+# timing real crypto ops with the wall clock; it never feeds SimEngine.
+
 from __future__ import annotations
 
 import random

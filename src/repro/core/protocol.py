@@ -29,7 +29,7 @@ utilization metric.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.bench.costmodel import CostModel
 from repro.core.config import VF2BoostConfig
@@ -60,6 +60,10 @@ class ScheduleResult:
         utilization: busy fraction per resource over the run.
         bytes_per_tree: average public-network bytes per tree.
         gantt: ASCII Gantt chart of the first tree (diagnostics).
+        task_graphs: per-tree task lists (dependency edges included),
+            populated only when scheduling with ``collect_tasks=True``;
+            the input of the schedule-graph validator in
+            :mod:`repro.analysis.schedule`.
     """
 
     makespan: float
@@ -69,6 +73,7 @@ class ScheduleResult:
     utilization: dict[str, float]
     bytes_per_tree: float
     gantt: str = ""
+    task_graphs: list[list[SimTask]] = field(default_factory=list)
 
 
 @dataclass
@@ -172,12 +177,19 @@ class ProtocolScheduler:
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def schedule(self, trace: TraceLog) -> ScheduleResult:
-        """Schedule every tree of a trace; see :class:`ScheduleResult`."""
+    def schedule(self, trace: TraceLog, collect_tasks: bool = False) -> ScheduleResult:
+        """Schedule every tree of a trace; see :class:`ScheduleResult`.
+
+        Args:
+            trace: the workload to price.
+            collect_tasks: also return every tree's task graph in
+                :attr:`ScheduleResult.task_graphs` (schedule validation).
+        """
         per_tree: list[float] = []
         phase_totals: dict[str, float] = {}
         utilization_busy: dict[str, float] = {}
         root_breakdown: dict[str, float] = {}
+        task_graphs: list[list[SimTask]] = []
         total_bytes = 0.0
         gantt = ""
         parties = [
@@ -195,6 +207,8 @@ class ProtocolScheduler:
                 utilization_busy[name] = (
                     utilization_busy.get(name, 0.0) + resource.busy_time
                 )
+            if collect_tasks:
+                task_graphs.append(list(engine.tasks))
             if index == 0:
                 root_breakdown = breakdown
                 gantt = engine.gantt()
@@ -211,6 +225,7 @@ class ProtocolScheduler:
             utilization=utilization,
             bytes_per_tree=total_bytes / max(1, len(trace.trees)),
             gantt=gantt,
+            task_graphs=task_graphs,
         )
 
     # ------------------------------------------------------------------

@@ -354,7 +354,9 @@ class FederatedTrainer:
                 tree.set_leaf_weight(node.node_id, weight)
                 weights[node.node_id] = weight
         for p in range(1, n_passive + 1):
-            channel.send(LeafWeightBroadcast(ACTIVE, p, weights=weights))
+            # Declared disclosure: leaf weights are part of the published
+            # model (every party needs them for inference, §3.3).
+            channel.send(LeafWeightBroadcast(ACTIVE, p, weights=weights))  # repro: allow[PB001]
         return tree, tree_trace
 
     # ------------------------------------------------------------------

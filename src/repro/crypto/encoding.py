@@ -114,7 +114,10 @@ class Encoder:
         self.base = base
         self.exponent = exponent
         self.jitter = jitter
-        self._rng = rng or random.Random()
+        # Jitter only needs to be unpredictable to the *other* party, not
+        # cryptographically strong; a key-derived seed keeps simulated
+        # runs bit-for-bit repeatable when no RNG is injected.
+        self._rng = rng or random.Random(public_key.n & 0xFFFFFFFF)
 
     def exponent_window(self) -> range:
         """The window of exponents this encoder may emit."""

@@ -10,18 +10,38 @@ through a :class:`RecordingChannel`, which
   for the "3.2 GB -> 1.1 GB per tree" resource-utilization claim;
 * enforces the protocol's privacy ground rule: any label-derived
   payload flowing *toward* a passive party must be ciphertext.
+
+The privacy guard is **default-deny**: besides the known label-derived
+types (which must satisfy ``carries_ciphertext_only``), any message
+type the channel does not recognize as a *declared disclosure* is
+rejected when it carries plaintext floats toward a passive party.  A
+new message type must either be ciphertext-only or be added to
+:data:`RecordingChannel._DECLARED_PLAINTEXT` with a documented
+rationale — mirroring the static ``PB001`` rule of
+:mod:`repro.analysis.taint`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from collections import defaultdict, deque
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.fed.messages import (
+    DirtyNodeNotice,
     EncryptedGradHessBatch,
     EncryptedHistogramMessage,
+    InstancePlacement,
+    LeafWeightBroadcast,
     Message,
     PackedHistogramMessage,
+    RouteAnswer,
+    RouteQuery,
+    SplitAnswer,
+    SplitDecision,
+    SplitQuery,
 )
 
 __all__ = ["ChannelStats", "PrivacyViolation", "RecordingChannel"]
@@ -29,6 +49,40 @@ __all__ = ["ChannelStats", "PrivacyViolation", "RecordingChannel"]
 
 class PrivacyViolation(RuntimeError):
     """A message would leak plaintext label information to a passive party."""
+
+
+def _floats_in(value: object) -> bool:
+    """True when ``value`` (recursively, through plain containers)
+    contains a Python or numpy float.  Opaque objects such as
+    :class:`EncryptedNumber` are not descended into."""
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, (float, np.floating)):
+        return True
+    if isinstance(value, np.ndarray):
+        return bool(np.issubdtype(value.dtype, np.floating)) and value.size > 0
+    if isinstance(value, dict):
+        return any(_floats_in(v) for v in value.keys()) or any(
+            _floats_in(v) for v in value.values()
+        )
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return any(_floats_in(v) for v in value)
+    return False
+
+
+def _carries_floats(message: Message) -> bool:
+    """Does any payload field of the message hold plaintext floats?"""
+    if dataclasses.is_dataclass(message):
+        values = (
+            getattr(message, f.name)
+            for f in dataclasses.fields(message)
+            if f.name not in ("sender", "receiver")
+        )
+    else:  # non-dataclass Message subclass (e.g. an ad-hoc test double)
+        values = (
+            v for k, v in vars(message).items() if k not in ("sender", "receiver")
+        )
+    return any(_floats_in(v) for v in values)
 
 
 @dataclass
@@ -57,6 +111,23 @@ class RecordingChannel:
         PackedHistogramMessage,
     )
 
+    #: declared plaintext disclosures, each sanctioned by the protocol:
+    #: split decisions/queries reveal only owner-local bin indices
+    #: (§3.2), placements and routing reveal instance->node assignment
+    #: the protocol already discloses, and leaf weights are part of the
+    #: published model.  Anything else carrying floats toward a passive
+    #: party is rejected (default-deny).
+    _DECLARED_PLAINTEXT = (
+        SplitDecision,
+        SplitQuery,
+        SplitAnswer,
+        InstancePlacement,
+        DirtyNodeNotice,
+        RouteQuery,
+        RouteAnswer,
+        LeafWeightBroadcast,
+    )
+
     def __init__(self, key_bits: int, active_party: int = 0, strict: bool = True) -> None:
         self.key_bits = key_bits
         self.active_party = active_party
@@ -68,16 +139,8 @@ class RecordingChannel:
 
     def send(self, message: Message) -> None:
         """Enqueue a message after privacy and accounting checks."""
-        if (
-            self.strict
-            and message.receiver != self.active_party
-            and isinstance(message, self._LABEL_DERIVED)
-            and not message.carries_ciphertext_only
-        ):
-            raise PrivacyViolation(
-                f"{type(message).__name__} toward passive party "
-                f"{message.receiver} must be ciphertext"
-            )
+        if self.strict and message.receiver != self.active_party:
+            self._check_toward_passive(message)
         size = message.payload_bytes(self.key_bits)
         direction = (message.sender, message.receiver)
         self._queues[direction].append(message)
@@ -87,6 +150,31 @@ class RecordingChannel:
         type_stats.messages += 1
         type_stats.bytes += size
         self.log.append(message)
+
+    def _check_toward_passive(self, message: Message) -> None:
+        """Privacy guard for traffic headed anywhere but the label holder.
+
+        Raises:
+            PrivacyViolation: when a label-derived message is not
+                ciphertext-only, or an *undeclared* message type carries
+                plaintext floats.
+        """
+        if message.carries_ciphertext_only:
+            return
+        if isinstance(message, self._LABEL_DERIVED):
+            raise PrivacyViolation(
+                f"{type(message).__name__} toward passive party "
+                f"{message.receiver} must be ciphertext"
+            )
+        if isinstance(message, self._DECLARED_PLAINTEXT):
+            return
+        if _carries_floats(message):
+            raise PrivacyViolation(
+                f"undeclared message type {type(message).__name__} carries "
+                f"plaintext floats toward passive party {message.receiver}; "
+                "encrypt the payload or declare the disclosure in "
+                "RecordingChannel._DECLARED_PLAINTEXT"
+            )
 
     def receive(self, sender: int, receiver: int) -> Message:
         """Dequeue the next message of a direction (FIFO).

@@ -36,6 +36,9 @@ class SimTask:
         lane: lane index within the resource.
         start: simulated start time (seconds).
         end: simulated end time (seconds).
+        task_id: position in the engine's submission order; the node id
+            the schedule-graph validator keys on.
+        deps: ``task_id`` of every dependency this task waited for.
     """
 
     name: str
@@ -44,6 +47,8 @@ class SimTask:
     lane: int
     start: float
     end: float
+    task_id: int = -1
+    deps: tuple[int, ...] = ()
 
     @property
     def duration(self) -> float:
@@ -151,6 +156,8 @@ class SimEngine:
             lane=lane,
             start=start,
             end=end,
+            task_id=len(self.tasks),
+            deps=tuple(dep.task_id for dep in deps or ()),
         )
         self.tasks.append(task)
         return task

@@ -1,0 +1,4 @@
+"""Fixture package for the static analyzers — every module here
+contains a *deliberate* violation that a checker must fire on.  The
+tree is parsed by :class:`repro.analysis.astutils.PackageIndex`, never
+imported."""

@@ -1,0 +1,10 @@
+"""CR003 fixture: a crypto-layer raw op that forgets the OpStats bump."""
+
+
+class Context:
+    def silent_add(self, a, b):
+        return self.public_key.raw_add(a, b)
+
+    def counted_add(self, a, b):
+        self.stats.additions += 1
+        return self.public_key.raw_add(a, b)

@@ -1,0 +1,19 @@
+"""DET001/DET002/DET003 fixture: nondeterminism in sim-reachable code."""
+
+import random
+import time
+
+
+def timestamp():
+    return time.time()
+
+
+def jitter_width():
+    rng = random.Random()
+    return rng.randrange(4)
+
+
+def first_feature():
+    for feature in {"f1", "f2", "f3"}:
+        return feature
+    return None

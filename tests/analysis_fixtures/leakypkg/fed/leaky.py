@@ -1,0 +1,10 @@
+"""PB001 fixture: label-derived plaintext shipped toward a passive party."""
+
+from repro.fed.messages import LeafWeightBroadcast
+
+
+def broadcast_raw_stats(channel, labels):
+    grads = [2.0 * y for y in labels]
+    total = sum(grads)
+    weights = {0: total}
+    channel.send(LeafWeightBroadcast(0, 1, weights=weights))

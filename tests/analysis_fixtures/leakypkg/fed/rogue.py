@@ -1,0 +1,13 @@
+"""PB002 fixture: a Message subclass defined outside repro.fed.messages."""
+
+from dataclasses import dataclass, field
+
+from repro.fed.messages import Message
+
+
+@dataclass
+class RogueReport(Message):
+    residuals: list = field(default_factory=list)
+
+    def payload_bytes(self, key_bits: int) -> int:
+        return 8 * len(self.residuals)

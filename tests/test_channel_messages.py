@@ -1,5 +1,7 @@
 """Tests for typed messages, channel accounting and privacy guards."""
 
+from dataclasses import dataclass, field
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,7 @@ from repro.fed.messages import (
     EncryptedGradHessBatch,
     InstancePlacement,
     LeafWeightBroadcast,
+    Message,
     PackedHistogramMessage,
     SplitAnswer,
     SplitDecision,
@@ -145,4 +148,77 @@ class TestPrivacyGuard:
                 0, 1, grads=[CTX.encrypt(0.5)], hesses=[CTX.encrypt(0.1)]
             )
         )
+        assert channel.pending(0, 1) == 1
+
+
+@dataclass
+class _ResidualDump(Message):
+    """A message type the channel has never heard of, carrying floats."""
+
+    residuals: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def payload_bytes(self, key_bits: int) -> int:
+        return 8 * int(self.residuals.size)
+
+
+@dataclass
+class _NodeCountReport(Message):
+    """Undeclared type carrying only integer metadata."""
+
+    counts: dict = field(default_factory=dict)
+
+    def payload_bytes(self, key_bits: int) -> int:
+        return 8 * len(self.counts)
+
+
+@dataclass
+class _NestedLeak(Message):
+    """Floats buried inside nested plain containers."""
+
+    payload: dict = field(default_factory=dict)
+
+    def payload_bytes(self, key_bits: int) -> int:
+        return 64
+
+
+class TestDefaultDeny:
+    """Unrecognized message types carrying floats are rejected by default."""
+
+    def test_undeclared_float_message_to_passive_rejected(self):
+        channel = RecordingChannel(256, active_party=0, strict=True)
+        message = _ResidualDump(0, 1, residuals=np.asarray([0.25, -0.5]))
+        with pytest.raises(PrivacyViolation, match="undeclared"):
+            channel.send(message)
+
+    def test_undeclared_float_message_to_active_allowed(self):
+        channel = RecordingChannel(256, active_party=0, strict=True)
+        channel.send(_ResidualDump(1, 0, residuals=np.asarray([0.25])))
+        assert channel.pending(1, 0) == 1
+
+    def test_undeclared_int_only_message_allowed(self):
+        channel = RecordingChannel(256, active_party=0, strict=True)
+        channel.send(_NodeCountReport(0, 1, counts={3: 17, 4: 12}))
+        assert channel.pending(0, 1) == 1
+
+    def test_floats_found_in_nested_containers(self):
+        channel = RecordingChannel(256, active_party=0, strict=True)
+        message = _NestedLeak(0, 1, payload={"stats": [(1, 2.5)]})
+        with pytest.raises(PrivacyViolation):
+            channel.send(message)
+
+    def test_declared_disclosure_still_allowed(self):
+        # LeafWeightBroadcast carries floats but is a declared disclosure
+        # (the published model); it must keep flowing.
+        channel = RecordingChannel(256, active_party=0, strict=True)
+        channel.send(LeafWeightBroadcast(0, 1, weights={1: 0.5}))
+        assert channel.pending(0, 1) == 1
+
+    def test_non_strict_allows_undeclared(self):
+        channel = RecordingChannel(256, active_party=0, strict=False)
+        channel.send(_ResidualDump(0, 1, residuals=np.asarray([1.0])))
+        assert channel.pending(0, 1) == 1
+
+    def test_empty_float_array_not_flagged(self):
+        channel = RecordingChannel(256, active_party=0, strict=True)
+        channel.send(_ResidualDump(0, 1, residuals=np.zeros(0)))
         assert channel.pending(0, 1) == 1
