@@ -41,6 +41,7 @@ DEFAULT_SCOPE = (
     "fed/",
     "core/protocol.py",
     "bench/",
+    "serve/",
     "crypto/encoding.py",
     "crypto/ciphertext.py",
 )

@@ -101,6 +101,8 @@ DECLARED_DISCLOSURES = {
     "DirtyNodeNotice",
     "RouteQuery",
     "RouteAnswer",
+    "RouteQueryBatch",
+    "RouteAnswerBatch",
 }
 
 #: dataclass field order of the core message types, used to name
@@ -118,6 +120,8 @@ KNOWN_MESSAGE_FIELDS = {
     "DirtyNodeNotice": ["sender", "receiver", "node_id", "corrected_owner", "bin_flat_index"],
     "RouteQuery": ["sender", "receiver", "tree_index", "node_id", "instance_ids"],
     "RouteAnswer": ["sender", "receiver", "tree_index", "node_id", "goes_left"],
+    "RouteQueryBatch": ["sender", "receiver", "batch_id", "items"],
+    "RouteAnswerBatch": ["sender", "receiver", "batch_id", "items"],
     "LeafWeightBroadcast": ["sender", "receiver", "weights"],
 }
 

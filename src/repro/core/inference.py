@@ -2,14 +2,22 @@
 
 At serving time the model is as distributed as the features: Party B
 can evaluate its own splits, but whenever an instance reaches a node
-owned by a passive party, only that party can route it. The protocol
+owned by a passive party, only that party can route it.  The protocol
 below is the standard one (and what SecureBoost deploys): B drives the
 traversal layer by layer and sends the owning party *batched routing
-queries* — a node id plus the set of instances currently sitting on
-it — receiving a left/right bitmap back. The owner learns only which
-instances reached its node (the same information training's instance
+queries* — node ids plus the sets of instances currently sitting on
+them — receiving left/right bitmaps back.  The owner learns only which
+instances reached its nodes (the same information training's instance
 placement already revealed); B never learns the owner's feature or
 threshold.
+
+The per-layer frontier machinery (:func:`split_frontier`,
+:func:`apply_route`, :func:`answer_route_items`) is shared with the
+online serving runtime (:mod:`repro.serve`), which additionally
+coalesces routing queries *across concurrent requests* into one
+:class:`~repro.fed.messages.RouteQueryBatch` per (party, layer).  The
+offline predictor coalesces within a layer too: one round trip per
+(owner, layer) instead of one per node.
 
 Every message flows through a :class:`RecordingChannel`, so serving
 traffic is as accountable as training traffic.
@@ -17,13 +25,125 @@ traffic is as accountable as training traffic.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from repro.core.trainer import ACTIVE, FederatedModel
 from repro.fed.channel import RecordingChannel
-from repro.fed.messages import RouteAnswer, RouteQuery
+from repro.fed.messages import (
+    RouteAnswer,
+    RouteAnswerBatch,
+    RouteQuery,
+    RouteQueryBatch,
+)
 
-__all__ = ["FederatedPredictor"]
+__all__ = [
+    "FederatedPredictor",
+    "FrontierSplit",
+    "split_frontier",
+    "apply_route",
+    "answer_route_items",
+]
+
+
+@dataclass
+class FrontierSplit:
+    """One tree layer's frontier, partitioned by who can act on it.
+
+    Attributes:
+        leaves: ``node_id -> rows`` for nodes that finished traversal.
+        local: ``node_id -> rows`` for split nodes the caller owns.
+        remote: ``owner -> {node_id -> rows}`` for split nodes that need
+            a cross-party routing query.
+    """
+
+    leaves: dict[int, np.ndarray] = field(default_factory=dict)
+    local: dict[int, np.ndarray] = field(default_factory=dict)
+    remote: dict[int, dict[int, np.ndarray]] = field(default_factory=dict)
+
+
+def split_frontier(
+    tree, frontier: dict[int, np.ndarray], local_party: int = ACTIVE
+) -> FrontierSplit:
+    """Partition a frontier into leaves, locally ownable and remote work.
+
+    Nodes are visited in ascending node id so the grouping (and every
+    message built from it) is deterministic.
+    """
+    result = FrontierSplit()
+    for node_id in sorted(frontier):
+        rows = frontier[node_id]
+        node = tree.nodes[node_id]
+        if node.is_leaf:
+            result.leaves[node_id] = rows
+        elif node.owner == local_party:
+            result.local[node_id] = rows
+        else:
+            result.remote.setdefault(node.owner, {})[node_id] = rows
+    return result
+
+
+def route_local(codes: np.ndarray, node, rows: np.ndarray) -> np.ndarray:
+    """Left/right bitmap for one owned node from the owner's bin codes."""
+    return codes[rows, node.feature] <= node.bin_index
+
+
+def apply_route(
+    tree,
+    node_id: int,
+    rows: np.ndarray,
+    goes_left: np.ndarray,
+    next_frontier: dict[int, np.ndarray],
+) -> None:
+    """Push a routed node's instances down to its children.
+
+    Children already present in ``next_frontier`` (e.g. filled by a
+    sibling batch of the serving runtime) accumulate rows in arrival
+    order — callers that need a canonical order sort per node id, which
+    :func:`split_frontier` does on the next layer step.
+    """
+    node = tree.nodes[node_id]
+    left_rows = rows[goes_left]
+    right_rows = rows[~goes_left]
+    for child, child_rows in (
+        (node.left_child, left_rows),
+        (node.right_child, right_rows),
+    ):
+        if not child_rows.size:
+            continue
+        if child in next_frontier:
+            next_frontier[child] = np.concatenate(
+                [next_frontier[child], child_rows]
+            )
+        else:
+            next_frontier[child] = child_rows
+
+
+def answer_route_items(
+    model: FederatedModel,
+    owner_codes: np.ndarray,
+    items: list[tuple[int, int, np.ndarray]],
+) -> list[tuple[int, int, np.ndarray]]:
+    """Owner-side evaluation of a routing batch.
+
+    Args:
+        model: the owner's copy of the model (its own feature/bin ids
+            populated from its sidecar).
+        owner_codes: the owner's bin-code matrix, indexed by the
+            instance ids carried in ``items``.
+        items: ``(tree_index, node_id, instance_ids)`` query entries.
+
+    Returns:
+        ``(tree_index, node_id, goes_left)`` entries in query order.
+    """
+    answers: list[tuple[int, int, np.ndarray]] = []
+    for tree_index, node_id, instance_ids in items:
+        node = model.trees[tree_index].nodes[node_id]
+        answers.append(
+            (tree_index, node_id, route_local(owner_codes, node, instance_ids))
+        )
+    return answers
 
 
 class FederatedPredictor:
@@ -36,6 +156,10 @@ class FederatedPredictor:
             score, indexed by owner-local feature ids.
         channel: message channel for routing queries (a fresh
             :class:`RecordingChannel` is created when omitted).
+        coalesce: batch all of one owner's frontier nodes of a layer
+            into a single :class:`RouteQueryBatch` round trip (the
+            default).  ``False`` restores the naive one-RouteQuery-per-
+            node protocol — kept as the serving benchmark baseline.
     """
 
     def __init__(
@@ -44,11 +168,24 @@ class FederatedPredictor:
         party_codes: dict[int, np.ndarray],
         channel: RecordingChannel | None = None,
         key_bits: int = 2048,
+        coalesce: bool = True,
     ) -> None:
         self.model = model
         self.party_codes = party_codes
         self.channel = channel or RecordingChannel(key_bits, active_party=ACTIVE)
+        self.coalesce = coalesce
         self.routing_queries = 0
+        self._batch_counter = 0
+
+    @property
+    def round_trips(self) -> int:
+        """Cross-party request/answer round trips issued so far."""
+        return self.routing_queries
+
+    @property
+    def bytes_on_wire(self) -> int:
+        """Total routing bytes, both directions (channel accounting)."""
+        return self.channel.total_bytes()
 
     def predict_margin(self) -> np.ndarray:
         """Raw margins for every instance, via the routing protocol."""
@@ -66,28 +203,69 @@ class FederatedPredictor:
         # node_id -> instance indices currently on the node.
         frontier: dict[int, np.ndarray] = {0: np.arange(n, dtype=np.int64)}
         while frontier:
+            layer = split_frontier(tree, frontier, local_party=ACTIVE)
             next_frontier: dict[int, np.ndarray] = {}
-            for node_id, rows in frontier.items():
-                node = tree.nodes[node_id]
-                if node.is_leaf:
-                    out[rows] = node.weight
-                    continue
-                goes_left = self._route(tree_index, node, rows)
-                left_rows = rows[goes_left]
-                right_rows = rows[~goes_left]
-                if left_rows.size:
-                    next_frontier[node.left_child] = left_rows
-                if right_rows.size:
-                    next_frontier[node.right_child] = right_rows
+            for node_id, rows in layer.leaves.items():
+                out[rows] = tree.nodes[node_id].weight
+            for node_id, rows in layer.local.items():
+                goes_left = route_local(
+                    self.party_codes[ACTIVE], tree.nodes[node_id], rows
+                )
+                apply_route(tree, node_id, rows, goes_left, next_frontier)
+            for owner in sorted(layer.remote):
+                self._route_remote(
+                    tree_index, tree, owner, layer.remote[owner], next_frontier
+                )
             frontier = next_frontier
         return out
 
-    def _route(self, tree_index: int, node, rows: np.ndarray) -> np.ndarray:
-        """Left/right decision for a batch of instances at one node."""
-        if node.owner == ACTIVE:
-            codes = self.party_codes[ACTIVE]
-            return codes[rows, node.feature] <= node.bin_index
-        # Cross-party: ask the owner through the channel.
+    def _route_remote(
+        self,
+        tree_index: int,
+        tree,
+        owner: int,
+        nodes: dict[int, np.ndarray],
+        next_frontier: dict[int, np.ndarray],
+    ) -> None:
+        """Resolve one owner's frontier nodes, batched or one by one."""
+        if self.coalesce:
+            items = [
+                (tree_index, node_id, nodes[node_id]) for node_id in sorted(nodes)
+            ]
+            for tree_idx, node_id, goes_left in self._query_batch(owner, items):
+                apply_route(
+                    tree, node_id, nodes[node_id], goes_left, next_frontier
+                )
+        else:
+            for node_id in sorted(nodes):
+                goes_left = self._route_single(
+                    tree_index, tree.nodes[node_id], nodes[node_id]
+                )
+                apply_route(
+                    tree, node_id, nodes[node_id], goes_left, next_frontier
+                )
+
+    def _query_batch(
+        self, owner: int, items: list[tuple[int, int, np.ndarray]]
+    ) -> list[tuple[int, int, np.ndarray]]:
+        """One coalesced round trip: all of an owner's layer nodes."""
+        self.routing_queries += 1
+        self._batch_counter += 1
+        self.channel.send(
+            RouteQueryBatch(ACTIVE, owner, batch_id=self._batch_counter, items=items)
+        )
+        query = self.channel.receive(ACTIVE, owner)
+        assert isinstance(query, RouteQueryBatch)
+        answers = answer_route_items(self.model, self.party_codes[owner], query.items)
+        self.channel.send(
+            RouteAnswerBatch(owner, ACTIVE, batch_id=query.batch_id, items=answers)
+        )
+        answer = self.channel.receive(owner, ACTIVE)
+        assert isinstance(answer, RouteAnswerBatch)
+        return answer.items
+
+    def _route_single(self, tree_index: int, node, rows: np.ndarray) -> np.ndarray:
+        """Naive path: one round trip for a single node's instances."""
         self.routing_queries += 1
         self.channel.send(
             RouteQuery(

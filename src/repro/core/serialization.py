@@ -21,14 +21,37 @@ from repro.core.trainer import FederatedModel
 from repro.gbdt.tree import DecisionTree, TreeNode
 
 __all__ = [
+    "ModelFormatError",
     "model_to_payloads",
     "model_from_payloads",
     "save_model",
     "load_model",
+    "split_owners",
     "FORMAT_VERSION",
 ]
 
 FORMAT_VERSION = 1
+
+
+class ModelFormatError(ValueError):
+    """A model artifact is structurally unusable.
+
+    Raised eagerly — on a ``FORMAT_VERSION`` mismatch, a malformed
+    skeleton, or (when completeness is required) a missing owner
+    sidecar — instead of letting reconstruction fail deep inside with a
+    bare ``KeyError``.  Subclasses :class:`ValueError` so existing
+    callers that catch the old exception keep working.
+    """
+
+
+def split_owners(shared: dict[str, Any]) -> set[int]:
+    """Owner ids of every split node in a skeleton payload."""
+    owners: set[int] = set()
+    for tree_payload in shared.get("trees", []):
+        for node_payload in tree_payload.get("nodes", []):
+            if not node_payload.get("leaf", True):
+                owners.add(int(node_payload["owner"]))
+    return owners
 
 
 def model_to_payloads(model: FederatedModel) -> dict[str, Any]:
@@ -75,7 +98,9 @@ def model_to_payloads(model: FederatedModel) -> dict[str, Any]:
 
 
 def model_from_payloads(
-    shared: dict[str, Any], private: dict[int, dict[str, Any]]
+    shared: dict[str, Any],
+    private: dict[int, dict[str, Any]],
+    require_owners: set[int] | None = None,
 ) -> FederatedModel:
     """Reassemble a model from the skeleton and any available sidecars.
 
@@ -85,12 +110,34 @@ def model_from_payloads(
     only needs the bin index and owner-local feature id, which come
     from the matching sidecar at the owning party.
 
+    Args:
+        shared: skeleton payload.
+        private: ``owner -> sidecar`` payloads.
+        require_owners: owners whose sidecar *must* cover every split
+            they own (the serving registry passes all split owners; a
+            single party reconstructing its own view passes nothing).
+
     Raises:
-        ValueError: on unknown format versions.
+        ModelFormatError: on unknown format versions, a structurally
+            malformed skeleton, or — when ``require_owners`` is given —
+            a missing or incomplete owner sidecar.
     """
     version = shared.get("format_version")
     if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported model format version: {version!r}")
+        raise ModelFormatError(
+            f"unsupported model format version: {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    for key in ("learning_rate", "base_score", "trees"):
+        if key not in shared:
+            raise ModelFormatError(f"model skeleton is missing {key!r}")
+    if require_owners:
+        missing = sorted(set(require_owners) - set(private))
+        if missing:
+            raise ModelFormatError(
+                "missing sidecar for split owner(s) "
+                f"{missing}; serving needs every owner's split details"
+            )
     model = FederatedModel(
         learning_rate=shared["learning_rate"], base_score=shared["base_score"]
     )
@@ -115,6 +162,11 @@ def model_from_payloads(
                         float("nan")
                         if split["threshold"] is None
                         else split["threshold"]
+                    )
+                elif require_owners and node.owner in require_owners:
+                    raise ModelFormatError(
+                        f"sidecar of owner {node.owner} has no split entry "
+                        f"for node {key!r}; the artifact set is inconsistent"
                     )
             tree.nodes[node.node_id] = node
         model.trees.append(tree)
@@ -143,8 +195,20 @@ def save_model(model: FederatedModel, shared_path: str, private_dir: str) -> lis
     return written
 
 
-def load_model(shared_path: str, sidecar_paths: list[str]) -> FederatedModel:
-    """Load the skeleton plus any sidecars the caller is entitled to."""
+def load_model(
+    shared_path: str,
+    sidecar_paths: list[str],
+    require_complete: bool = False,
+) -> FederatedModel:
+    """Load the skeleton plus any sidecars the caller is entitled to.
+
+    Args:
+        shared_path: skeleton JSON path.
+        sidecar_paths: owner sidecar JSON paths (``party<N>.json``).
+        require_complete: demand a sidecar covering every split owner of
+            the skeleton (what the serving registry needs) and raise
+            :class:`ModelFormatError` otherwise.
+    """
     import pathlib
 
     shared = json.loads(pathlib.Path(shared_path).read_text())
@@ -153,4 +217,5 @@ def load_model(shared_path: str, sidecar_paths: list[str]) -> FederatedModel:
         file = pathlib.Path(path)
         owner = int(file.stem.removeprefix("party"))
         private[owner] = json.loads(file.read_text())
-    return model_from_payloads(shared, private)
+    require_owners = split_owners(shared) if require_complete else None
+    return model_from_payloads(shared, private, require_owners=require_owners)

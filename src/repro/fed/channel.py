@@ -38,7 +38,9 @@ from repro.fed.messages import (
     Message,
     PackedHistogramMessage,
     RouteAnswer,
+    RouteAnswerBatch,
     RouteQuery,
+    RouteQueryBatch,
     SplitAnswer,
     SplitDecision,
     SplitQuery,
@@ -125,6 +127,8 @@ class RecordingChannel:
         DirtyNodeNotice,
         RouteQuery,
         RouteAnswer,
+        RouteQueryBatch,
+        RouteAnswerBatch,
         LeafWeightBroadcast,
     )
 

@@ -30,6 +30,8 @@ __all__ = [
     "InstancePlacement",
     "RouteAnswer",
     "RouteQuery",
+    "RouteAnswerBatch",
+    "RouteQueryBatch",
     "DirtyNodeNotice",
     "LeafWeightBroadcast",
 ]
@@ -245,6 +247,58 @@ class RouteAnswer(Message):
 
     def payload_bytes(self, key_bits: int) -> int:
         return 16 + int(np.ceil(self.goes_left.size / 8))
+
+
+@dataclass
+class RouteQueryBatch(Message):
+    """Coalesced routing queries for *all* of one party's frontier nodes.
+
+    The serving runtime (and the offline predictor's coalesced path)
+    collapses the per-node :class:`RouteQuery` round trips of one layer
+    — across every concurrent request — into a single message per
+    (party, layer).  ``items`` is a list of ``(tree_index, node_id,
+    instance_ids)`` tuples; the owner answers each item independently.
+
+    Disclosure: identical to :class:`RouteQuery` — the owner learns
+    which instances reached which of its nodes, exactly the placement
+    information training already revealed.  Batching changes message
+    *count*, not message *content*.
+    """
+
+    batch_id: int = 0
+    items: list[tuple[int, int, np.ndarray]] = field(default_factory=list)
+
+    def row_count(self) -> int:
+        """Total instance ids carried across all items."""
+        return sum(int(ids.size) for _, _, ids in self.items)
+
+    def payload_bytes(self, key_bits: int) -> int:
+        # 16B header + per item: tree/node ids (12B) + 4B per instance id.
+        return 16 + sum(12 + 4 * int(ids.size) for _, _, ids in self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass
+class RouteAnswerBatch(Message):
+    """Owner's reply to a :class:`RouteQueryBatch`: one bitmap per item.
+
+    ``items`` mirrors the query's order: ``(tree_index, node_id,
+    goes_left)`` with a boolean bitmap aligned to the query's
+    ``instance_ids``.
+    """
+
+    batch_id: int = 0
+    items: list[tuple[int, int, np.ndarray]] = field(default_factory=list)
+
+    def payload_bytes(self, key_bits: int) -> int:
+        return 16 + sum(
+            12 + int(np.ceil(mask.size / 8)) for _, _, mask in self.items
+        )
+
+    def __len__(self) -> int:
+        return len(self.items)
 
 
 @dataclass

@@ -1,0 +1,65 @@
+"""Online federated inference serving.
+
+The subsystem turns the offline :class:`repro.core.inference.
+FederatedPredictor` protocol into a latency-aware serving runtime:
+
+* :mod:`repro.serve.registry` — versioned model registry with atomic
+  hot-swap; validates skeleton + every split owner's sidecar + bin
+  edges at registration time.
+* :mod:`repro.serve.batcher` — cross-request micro-batching of routing
+  queries per passive party under a max-batch-size / max-delay policy.
+* :mod:`repro.serve.session` — request lifecycle (admission → binning →
+  layered traversal → margin → probability) on a deterministic
+  discrete-event loop.
+* :mod:`repro.serve.resilience` — per-party timeout/retry with backoff
+  and majority-direction degraded routing.
+* :mod:`repro.serve.metrics` — counters, latency/occupancy histograms,
+  per-1k-prediction wire accounting, JSON snapshots.
+* :mod:`repro.serve.loadgen` / :mod:`repro.serve.bench` — seeded
+  open/closed-loop load generation and the naive-vs-batched benchmark
+  (``python -m repro.serve.bench``).
+"""
+
+from repro.serve.batcher import MicroBatcher, RouteWork
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    make_party_delay,
+    make_requests,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serve.metrics import ServeMetrics
+from repro.serve.registry import ModelRegistry, ModelVersion
+from repro.serve.resilience import (
+    DegradedRouter,
+    PartyHealth,
+    RetryPolicy,
+    majority_directions,
+)
+from repro.serve.session import (
+    Prediction,
+    Request,
+    ServeConfig,
+    ServingRuntime,
+)
+
+__all__ = [
+    "MicroBatcher",
+    "RouteWork",
+    "LoadgenConfig",
+    "make_party_delay",
+    "make_requests",
+    "run_closed_loop",
+    "run_open_loop",
+    "ServeMetrics",
+    "ModelRegistry",
+    "ModelVersion",
+    "DegradedRouter",
+    "PartyHealth",
+    "RetryPolicy",
+    "majority_directions",
+    "Prediction",
+    "Request",
+    "ServeConfig",
+    "ServingRuntime",
+]

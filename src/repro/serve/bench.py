@@ -1,0 +1,341 @@
+"""Serving benchmark: naive per-node routing vs. the micro-batched runtime.
+
+Usage::
+
+    python -m repro.serve.bench            # full run, writes BENCH_serve.json
+    python -m repro.serve.bench --smoke    # small sizes (tier-1 CI gate)
+
+Both modes are end-to-end: train a small federated model (counted
+crypto mode — the protocol is lossless, so the model is the one a real
+run would produce), register it, replay a seeded closed-loop workload
+against (a) the offline predictor issuing one ``RouteQuery`` per
+cross-party node per request and (b) the serving runtime coalescing
+routing work per (party, layer) across requests.  Margins must match
+bit-for-bit; the interesting numbers are cross-party round trips and
+bytes per 1k predictions, p50/p99 latency and throughput.
+
+A third scenario injects a deterministic slow party to exercise the
+timeout → retry → degraded-routing path and prove degraded requests are
+flagged and counted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.core.config import VF2BoostConfig
+from repro.core.inference import FederatedPredictor
+from repro.core.trainer import ACTIVE, FederatedTrainer
+from repro.fed.channel import RecordingChannel
+from repro.fed.cluster import ClusterSpec
+from repro.fed.messages import RouteQuery
+from repro.gbdt.binning import bin_dataset
+from repro.gbdt.params import GBDTParams
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    make_party_delay,
+    make_requests,
+    run_closed_loop,
+)
+from repro.serve.registry import ModelRegistry
+from repro.serve.resilience import RetryPolicy
+from repro.serve.session import ServeConfig, ServingRuntime
+
+__all__ = ["run_bench", "main"]
+
+
+def _train(seed: int, n_train: int, n_features: int, params: GBDTParams):
+    """Train the demo model over a two-party vertical partition."""
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n_train, n_features))
+    labels = ((features @ rng.normal(size=n_features)) > 0).astype(float)
+    full = bin_dataset(features, params.n_bins)
+    half = n_features // 2
+    parties = [
+        full.subset_features(np.arange(half, n_features)),  # Party B (active)
+        full.subset_features(np.arange(0, half)),  # Party A (passive)
+    ]
+    config = VF2BoostConfig.vf2boost(params=params, crypto_mode="counted")
+    result = FederatedTrainer(config).fit(parties, labels)
+    return result.model, parties
+
+
+def _build_registry(model, parties) -> ModelRegistry:
+    registry = ModelRegistry()
+    registry.register(
+        "v1",
+        model,
+        bin_edges={k: party.cut_points for k, party in enumerate(parties)},
+        calibration_codes={k: party.codes for k, party in enumerate(parties)},
+    )
+    registry.activate("v1")
+    return registry
+
+
+def _naive_baseline(
+    registry: ModelRegistry,
+    requests,
+    cluster: ClusterSpec,
+    serve_config: ServeConfig,
+) -> dict:
+    """Per-request offline prediction with one round trip per node.
+
+    Requests are served by ``concurrency`` independent sequential
+    streams (the closed-loop equivalent); each request's latency is its
+    own routing chain priced on the same WAN constants as the runtime.
+    """
+    version = registry.active()
+    latencies: list[float] = []
+    margins: dict[int, np.ndarray] = {}
+    round_trips = 0
+    wire_bytes = 0
+    for request in requests:
+        codes = {
+            party: version.bin_rows(party, block)
+            for party, block in sorted(request.rows.items())
+        }
+        channel = RecordingChannel(serve_config.key_bits, active_party=ACTIVE)
+        predictor = FederatedPredictor(
+            version.model,
+            codes,
+            channel=channel,
+            key_bits=serve_config.key_bits,
+            coalesce=False,
+        )
+        margins[request.request_id] = predictor.predict_margin()
+        routed_rows = sum(
+            int(message.instance_ids.size)
+            for message in channel.log
+            if isinstance(message, RouteQuery)
+        )
+        round_trips += predictor.routing_queries
+        wire_bytes += channel.total_bytes()
+        latencies.append(
+            serve_config.admission_cost
+            + 2 * cluster.wan_latency * predictor.routing_queries
+            + channel.total_bytes() / cluster.wan_bandwidth
+            + serve_config.route_cost_per_row * routed_rows
+        )
+    ordered = sorted(latencies)
+    predictions = sum(request.n_rows() for request in requests)
+    return {
+        "margins": margins,
+        "round_trips": round_trips,
+        "round_trips_per_1k": 1000.0 * round_trips / predictions,
+        "wire_bytes": wire_bytes,
+        "wire_bytes_per_1k": 1000.0 * wire_bytes / predictions,
+        "latency_p50": ordered[len(ordered) // 2],
+        "latency_p99": ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))],
+        "total_stream_seconds": sum(latencies),
+    }
+
+
+def run_bench(
+    smoke: bool = False,
+    n_requests: int | None = None,
+    concurrency: int | None = None,
+    seed: int = 7,
+) -> dict:
+    """Run all three scenarios; returns the JSON-ready report."""
+    if smoke:
+        params = GBDTParams(n_trees=3, n_layers=4, n_bins=8)
+        n_train, n_features = 240, 8
+        n_requests = n_requests or 48
+        concurrency = concurrency or 16
+    else:
+        params = GBDTParams(n_trees=6, n_layers=5, n_bins=16)
+        n_train, n_features = 600, 16
+        n_requests = n_requests or 400
+        concurrency = concurrency or 32
+
+    model, parties = _train(seed, n_train, n_features, params)
+    registry = _build_registry(model, parties)
+    cluster = ClusterSpec()
+    serve_config = ServeConfig(max_batch_size=64, max_delay=0.005)
+
+    feature_dims = {0: parties[0].n_features, 1: parties[1].n_features}
+    load = LoadgenConfig(
+        n_requests=n_requests,
+        feature_dims=feature_dims,
+        seed=seed,
+        mode="closed",
+        concurrency=concurrency,
+        duplicate_fraction=0.25,
+    )
+    requests = make_requests(load)
+
+    # --- micro-batched serving runtime --------------------------------
+    runtime = ServingRuntime(
+        registry, cluster=cluster, config=serve_config
+    )
+    completions = run_closed_loop(runtime, requests, concurrency)
+    snapshot = runtime.snapshot()
+    wall = max(outcome.finished for outcome in completions)
+    served = {
+        "snapshot": snapshot,
+        "throughput_rps": len(completions) / wall if wall else 0.0,
+        "wall_seconds": wall,
+    }
+
+    # --- naive per-node baseline --------------------------------------
+    naive = _naive_baseline(registry, requests, cluster, serve_config)
+    naive["throughput_rps"] = (
+        len(requests) / (naive["total_stream_seconds"] / concurrency)
+    )
+
+    # --- parity -------------------------------------------------------
+    version = registry.active()
+    max_diff = 0.0
+    exact = True
+    for outcome in completions:
+        reference = naive["margins"][outcome.request_id]
+        request = requests_by_id(requests)[outcome.request_id]
+        codes = {
+            party: version.bin_rows(party, block)
+            for party, block in sorted(request.rows.items())
+        }
+        centralized = version.model.predict_margin(codes)
+        diff = max(
+            float(np.abs(outcome.margins - reference).max(initial=0.0)),
+            float(np.abs(outcome.margins - centralized).max(initial=0.0)),
+        )
+        max_diff = max(max_diff, diff)
+        exact = exact and bool(
+            np.array_equal(outcome.margins, reference)
+            and np.array_equal(outcome.margins, centralized)
+        )
+
+    # --- degraded-mode scenario ---------------------------------------
+    degraded_load = LoadgenConfig(
+        n_requests=min(32, n_requests),
+        feature_dims=feature_dims,
+        seed=seed + 100,
+        mode="closed",
+        concurrency=min(8, concurrency),
+        slow_party=1,
+        slow_probability=0.45,
+        slow_delay=1.0,
+    )
+    degraded_runtime = ServingRuntime(
+        registry,
+        cluster=cluster,
+        config=serve_config,
+        retry=RetryPolicy(timeout=0.25, max_retries=2),
+        party_delay=make_party_delay(degraded_load),
+    )
+    run_closed_loop(
+        degraded_runtime, make_requests(degraded_load), degraded_load.concurrency
+    )
+    degraded_snapshot = degraded_runtime.snapshot()
+
+    batched_rt_1k = snapshot["per_1k_predictions"]["round_trips"]
+    report = {
+        "config": {
+            "smoke": smoke,
+            "seed": seed,
+            "n_requests": n_requests,
+            "concurrency": concurrency,
+            "n_trees": params.n_trees,
+            "n_layers": params.n_layers,
+            "max_batch_size": serve_config.max_batch_size,
+            "max_delay": serve_config.max_delay,
+        },
+        "parity": {
+            "margins_bit_identical": exact,
+            "max_abs_diff": max_diff,
+        },
+        "naive": {k: v for k, v in naive.items() if k != "margins"},
+        "batched": served,
+        "ratios": {
+            "round_trip_reduction": (
+                naive["round_trips_per_1k"] / batched_rt_1k
+                if batched_rt_1k
+                else float("inf")
+            ),
+            "byte_reduction": (
+                naive["wire_bytes_per_1k"]
+                / snapshot["per_1k_predictions"]["wire_bytes"]
+                if snapshot["per_1k_predictions"]["wire_bytes"]
+                else float("inf")
+            ),
+            "throughput_gain": (
+                served["throughput_rps"] / naive["throughput_rps"]
+                if naive["throughput_rps"]
+                else float("inf")
+            ),
+        },
+        "degraded_scenario": {
+            "requests": degraded_snapshot["counters"].get("requests", 0),
+            "degraded_requests": degraded_snapshot["counters"].get(
+                "degraded_requests", 0
+            ),
+            "degraded_rows": degraded_snapshot["counters"].get("degraded_rows", 0),
+            "timeouts": degraded_snapshot["counters"].get("timeouts", 0),
+            "retries": degraded_snapshot["counters"].get("retries", 0),
+            "degraded_rate": degraded_snapshot["rates"]["degraded_rate"],
+        },
+    }
+    return report
+
+
+def requests_by_id(requests) -> dict[int, object]:
+    """Index a request list by request id."""
+    return {request.request_id: request for request in requests}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point. Returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.bench",
+        description="Benchmark naive vs. micro-batched federated serving.",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="small sizes for CI (seconds)"
+    )
+    parser.add_argument("--out", default="BENCH_serve.json", help="report path")
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--concurrency", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    report = run_bench(
+        smoke=args.smoke,
+        n_requests=args.requests,
+        concurrency=args.concurrency,
+        seed=args.seed,
+    )
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=1)
+    ratios = report["ratios"]
+    parity = report["parity"]
+    print(f"wrote {args.out}")
+    print(
+        "round trips/1k: naive "
+        f"{report['naive']['round_trips_per_1k']:.1f} -> batched "
+        f"{report['batched']['snapshot']['per_1k_predictions']['round_trips']:.1f} "
+        f"({ratios['round_trip_reduction']:.1f}x fewer)"
+    )
+    print(
+        f"throughput: {ratios['throughput_gain']:.1f}x, "
+        f"bytes/1k: {ratios['byte_reduction']:.2f}x fewer, "
+        f"margins bit-identical: {parity['margins_bit_identical']}"
+    )
+    print(
+        "degraded scenario: "
+        f"{report['degraded_scenario']['degraded_requests']} degraded / "
+        f"{report['degraded_scenario']['requests']} requests, "
+        f"{report['degraded_scenario']['timeouts']} timeouts, "
+        f"{report['degraded_scenario']['retries']} retries"
+    )
+    if not parity["margins_bit_identical"]:
+        print("PARITY FAILURE: batched margins diverge", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    raise SystemExit(main())

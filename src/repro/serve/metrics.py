@@ -1,0 +1,155 @@
+"""Serving metrics: counters, histograms and a JSON snapshot API.
+
+Everything here is fed *simulated* quantities (simtime seconds, channel
+bytes), so snapshots are bit-repeatable across runs — the serving
+counterpart of the trainer's deterministic accounting.  Quantiles are
+exact (computed from retained samples), not sketched: bench-scale
+sample counts make that the simpler and more honest choice.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Histogram", "ServeMetrics"]
+
+#: default latency bucket upper bounds, in simulated seconds
+LATENCY_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+#: default occupancy/depth bucket upper bounds (counts)
+COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with exact quantiles.
+
+    Attributes:
+        bounds: ascending bucket upper bounds; one implicit overflow
+            bucket sits above the last bound.
+    """
+
+    bounds: tuple[float, ...] = LATENCY_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    samples: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("bucket bounds must be ascending")
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        bucket = len(self.bounds)
+        for k, bound in enumerate(self.bounds):
+            if value <= bound:
+                bucket = k
+                break
+        self.counts[bucket] += 1
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.samples)
+
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def quantile(self, q: float) -> float:
+        """Exact q-quantile via the nearest-rank method (0.0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary: count, mean, p50/p95/p99, buckets."""
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": max(self.samples) if self.samples else 0.0,
+            "buckets": {
+                **{f"le_{bound:g}": self.counts[k] for k, bound in enumerate(self.bounds)},
+                "overflow": self.counts[-1],
+            },
+        }
+
+
+class ServeMetrics:
+    """The serving runtime's counters and distributions.
+
+    Counters (monotonic):
+        ``requests``, ``predictions`` (rows), ``completed``,
+        ``rejected`` (admission-queue overflow), ``deadline_misses``,
+        ``degraded_requests``, ``degraded_rows``, ``cache_lookups``,
+        ``cache_hits``, ``round_trips``, ``retries``, ``timeouts``.
+
+    Distributions:
+        ``latency`` (request admission -> completion, simulated s),
+        ``batch_occupancy`` (items per flushed routing batch),
+        ``batch_rows`` (instance ids per flushed routing batch),
+        ``queue_depth`` (in-flight requests sampled at each admission).
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.latency = Histogram(LATENCY_BUCKETS)
+        self.batch_occupancy = Histogram(COUNT_BUCKETS)
+        self.batch_rows = Histogram(COUNT_BUCKETS)
+        self.queue_depth = Histogram(COUNT_BUCKETS)
+        #: wire bytes are set from the channel's ledger at snapshot time
+        self.wire_bytes = 0
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Bump a named counter."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Read a counter (0 when never bumped)."""
+        return self.counters.get(name, 0)
+
+    def _rate(self, numerator: str, denominator: str) -> float:
+        denom = self.get(denominator)
+        return self.get(numerator) / denom if denom else 0.0
+
+    def per_1k_predictions(self, value: float) -> float:
+        """Normalize a total to per-1000-predictions."""
+        predictions = self.get("predictions")
+        return 1000.0 * value / predictions if predictions else 0.0
+
+    def snapshot(self) -> dict:
+        """One JSON-ready view of every counter and distribution."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "rates": {
+                "cache_hit_rate": self._rate("cache_hits", "cache_lookups"),
+                "degraded_rate": self._rate("degraded_requests", "completed"),
+                "rejection_rate": self._rate("rejected", "requests"),
+            },
+            "per_1k_predictions": {
+                "round_trips": self.per_1k_predictions(self.get("round_trips")),
+                "wire_bytes": self.per_1k_predictions(self.wire_bytes),
+            },
+            "wire_bytes": self.wire_bytes,
+            "latency": self.latency.snapshot(),
+            "batch_occupancy": self.batch_occupancy.snapshot(),
+            "batch_rows": self.batch_rows.snapshot(),
+            "queue_depth": self.queue_depth.snapshot(),
+        }
+
+    def to_json(self, indent: int | None = 1) -> str:
+        """Serialized :meth:`snapshot`."""
+        return json.dumps(self.snapshot(), indent=indent)

@@ -1,0 +1,204 @@
+"""Versioned model registry with atomic hot-swap.
+
+A serving deployment never *replaces* a model — it registers a new
+version next to the old one, validates it, then atomically flips the
+active pointer between requests.  In-flight requests keep the version
+they were admitted under (each session captures a :class:`ModelVersion`
+reference at admission), so a swap can never mix two models inside one
+prediction.
+
+Registration validates the whole artifact set up front:
+
+* the skeleton and every split owner's sidecar must be present and
+  consistent (:func:`repro.core.serialization.load_model` with
+  ``require_complete=True`` raises :class:`ModelFormatError` otherwise);
+* every party referenced by a split must come with bin edges, so raw
+  feature rows can be quantized at admission with the exact cut points
+  the model was trained on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.serialization import ModelFormatError, load_model
+from repro.core.trainer import FederatedModel
+from repro.gbdt.binning import bin_column
+from repro.serve.resilience import DegradedRouter, majority_directions
+
+__all__ = ["ModelVersion", "ModelRegistry"]
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One immutable, fully validated model artifact set.
+
+    Attributes:
+        version: registry label (e.g. ``"v1"``).
+        model: reconstructed federated model, all sidecars applied.
+        bin_edges: ``party -> per-feature ascending cut points`` used to
+            quantize raw feature rows at admission.
+        degraded: fallback router for this model's passive nodes.
+    """
+
+    version: str
+    model: FederatedModel
+    bin_edges: dict[int, list[np.ndarray]] = field(default_factory=dict)
+    degraded: DegradedRouter = field(default_factory=DegradedRouter)
+
+    def split_owners(self) -> set[int]:
+        """Every party owning at least one split node."""
+        return set(self.model.split_counts_by_owner())
+
+    def bin_rows(self, party: int, rows: np.ndarray) -> np.ndarray:
+        """Quantize one party's raw feature rows with the stored edges."""
+        edges = self.bin_edges[party]
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != len(edges):
+            raise ValueError(
+                f"party {party} rows must be 2-D with {len(edges)} features"
+            )
+        codes = np.empty(rows.shape, dtype=np.uint16)
+        for j, cuts in enumerate(edges):
+            codes[:, j] = bin_column(rows[:, j], cuts)
+        return codes
+
+
+class ModelRegistry:
+    """Holds every registered version; exactly one may be active.
+
+    The swap (:meth:`activate`) is a single reference assignment —
+    atomic under the in-process serving model, and the pattern a
+    multi-process deployment would implement with an atomic pointer in
+    shared config.
+    """
+
+    def __init__(self) -> None:
+        self._versions: dict[str, ModelVersion] = {}
+        self._order: list[str] = []
+        self._active: ModelVersion | None = None
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        version: str,
+        model: FederatedModel,
+        bin_edges: dict[int, list[np.ndarray]],
+        calibration_codes: dict[int, np.ndarray] | None = None,
+    ) -> ModelVersion:
+        """Validate and store one model version (does not activate it).
+
+        Args:
+            version: unique label.
+            model: reconstructed model; every split node must carry its
+                owner's feature/bin details.
+            bin_edges: per-party cut points for admission binning.
+            calibration_codes: optional per-party bin codes used to
+                precompute majority-direction fallbacks for degraded
+                mode; without it the fallback is uniform-left.
+
+        Raises:
+            ModelFormatError: on an incomplete artifact set.
+            ValueError: on a duplicate version label.
+        """
+        if version in self._versions:
+            raise ValueError(f"version {version!r} already registered")
+        self._validate(model, bin_edges)
+        defaults = (
+            majority_directions(model, calibration_codes)
+            if calibration_codes
+            else {}
+        )
+        entry = ModelVersion(
+            version=version,
+            model=model,
+            bin_edges={party: list(edges) for party, edges in bin_edges.items()},
+            degraded=DegradedRouter(defaults),
+        )
+        self._versions[version] = entry
+        self._order.append(version)
+        return entry
+
+    def register_from_files(
+        self,
+        version: str,
+        shared_path: str,
+        sidecar_paths: list[str],
+        bin_edges: dict[int, list[np.ndarray]],
+        calibration_codes: dict[int, np.ndarray] | None = None,
+    ) -> ModelVersion:
+        """Load skeleton+sidecars from disk and register them.
+
+        ``require_complete=True`` makes a missing owner sidecar fail
+        here, at registration, with a :class:`ModelFormatError` — not
+        mid-request with an unroutable node.
+        """
+        model = load_model(shared_path, sidecar_paths, require_complete=True)
+        return self.register(version, model, bin_edges, calibration_codes)
+
+    @staticmethod
+    def _validate(
+        model: FederatedModel, bin_edges: dict[int, list[np.ndarray]]
+    ) -> None:
+        for t, tree in enumerate(model.trees):
+            for node in tree.nodes.values():
+                if node.is_leaf:
+                    continue
+                if node.feature < 0 or node.bin_index < 0:
+                    raise ModelFormatError(
+                        f"tree {t} node {node.node_id}: owner {node.owner} "
+                        "split details missing (sidecar not applied)"
+                    )
+                if node.owner not in bin_edges:
+                    raise ModelFormatError(
+                        f"no bin edges for party {node.owner}, which owns "
+                        f"tree {t} node {node.node_id}"
+                    )
+                if node.feature >= len(bin_edges[node.owner]):
+                    raise ModelFormatError(
+                        f"party {node.owner} bin edges cover "
+                        f"{len(bin_edges[node.owner])} features but tree {t} "
+                        f"node {node.node_id} splits on feature {node.feature}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Activation / lookup
+    # ------------------------------------------------------------------
+    def activate(self, version: str) -> ModelVersion:
+        """Atomically make a registered version the serving default."""
+        entry = self._versions.get(version)
+        if entry is None:
+            raise KeyError(f"version {version!r} is not registered")
+        self._active = entry
+        return entry
+
+    def active(self) -> ModelVersion:
+        """The currently serving version.
+
+        Raises:
+            LookupError: when nothing has been activated yet.
+        """
+        if self._active is None:
+            raise LookupError("no model version activated")
+        return self._active
+
+    def get(self, version: str) -> ModelVersion:
+        """Look up a version by label."""
+        return self._versions[version]
+
+    def versions(self) -> list[str]:
+        """Labels in registration order."""
+        return list(self._order)
+
+    def rollback(self) -> ModelVersion:
+        """Re-activate the version registered before the active one."""
+        if self._active is None:
+            raise LookupError("no model version activated")
+        position = self._order.index(self._active.version)
+        if position == 0:
+            raise LookupError("no earlier version to roll back to")
+        return self.activate(self._order[position - 1])
