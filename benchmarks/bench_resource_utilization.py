@@ -20,3 +20,39 @@ def test_resource_utilization(benchmark, record_result):
         result["vf2boost_bytes_per_tree"] / result["baseline_bytes_per_tree"]
     )
     assert byte_saving > 0.4  # paper: 66%
+
+
+def test_resource_utilization_obs_artifacts(record_report):
+    """With --obs-dir, emit baseline vs. vf2boost schedule artifacts.
+
+    The traces make the §6.2 utilization claim *visible*: the baseline
+    trace shows Party A's lane idling between phases, the concurrent
+    one shows it saturated.
+    """
+    from repro.bench.costmodel import CostModel
+    from repro.core.config import VF2BoostConfig
+    from repro.core.profile import analytic_trace
+    from repro.core.protocol import ProtocolScheduler
+    from repro.fed.cluster import PAPER_CLUSTER
+    from repro.gbdt.params import GBDTParams
+
+    params = GBDTParams(n_layers=5, n_bins=20)
+    trace = analytic_trace(
+        n_instances=1_000_000,
+        features_active=5_000,
+        features_passive=[5_000],
+        density=0.01,
+        n_bins=params.n_bins,
+        n_layers=params.n_layers,
+    )
+    cost = CostModel.paper()
+    for name, config in (
+        ("util_baseline", VF2BoostConfig.vf_gbdt(params=params)),
+        ("util_vf2boost", VF2BoostConfig.vf2boost(params=params)),
+    ):
+        result = ProtocolScheduler(config, cost, PAPER_CLUSTER).schedule(
+            trace, collect_tasks=True
+        )
+        report = record_report(name, result, label=name)
+        if report is not None:
+            assert report.makespan == result.makespan

@@ -37,3 +37,38 @@ def test_table2_split_ratio_column(record_result):
     rows, _ = run_table2()
     ratios = [row["ratio_b"] for row in rows]
     assert ratios == sorted(ratios)
+
+
+def test_table2_obs_artifacts(record_report):
+    """With --obs-dir, emit the per-tree schedule as report + trace."""
+    from repro.bench.costmodel import CostModel
+    from repro.core.config import VF2BoostConfig
+    from repro.core.profile import analytic_trace
+    from repro.core.protocol import ProtocolScheduler
+    from repro.fed.cluster import PAPER_CLUSTER
+    from repro.gbdt.params import GBDTParams
+
+    params = GBDTParams(n_layers=5, n_bins=20)
+    trace = analytic_trace(
+        n_instances=1_000_000,
+        features_active=25_000,
+        features_passive=[25_000],
+        density=0.01,
+        n_bins=params.n_bins,
+        n_layers=params.n_layers,
+    )
+    config = VF2BoostConfig.vf2boost(params=params)
+    result = ProtocolScheduler(config, CostModel.paper(), PAPER_CLUSTER).schedule(
+        trace, collect_tasks=True
+    )
+    report = record_report(
+        "table2_vf2boost",
+        result,
+        label="table2 25K/25K vf2boost",
+        config={"n_instances": 1_000_000, "features": "25K/25K"},
+    )
+    if report is not None:
+        assert report.spans
+        assert abs(sum(report.phases.values()) - sum(
+            t.duration for g in result.task_graphs for t in g
+        )) < 1e-6

@@ -4,6 +4,11 @@ Every benchmark both *benchmarks* a representative kernel (so
 ``pytest-benchmark`` has something to time) and regenerates its paper
 table/figure, writing the rendered text to ``benchmarks/results/`` so
 the reproduction artifacts survive the run.
+
+Observability: run with ``--obs-dir <dir>`` to additionally emit
+:class:`repro.obs.RunReport` JSONs and Perfetto-loadable Chrome traces
+for the benchmarks that schedule protocols (the ``record_report``
+fixture is a no-op without the flag, so plain runs stay artifact-free).
 """
 
 from __future__ import annotations
@@ -15,10 +20,28 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs-dir",
+        default=None,
+        help="directory for RunReport + Chrome trace artifacts",
+    )
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def obs_dir(request) -> pathlib.Path | None:
+    value = request.config.getoption("--obs-dir")
+    if value is None:
+        return None
+    path = pathlib.Path(value)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
 
 
 @pytest.fixture()
@@ -29,5 +52,30 @@ def record_result(results_dir):
         path = results_dir / f"{name}.txt"
         path.write_text(rendered + "\n")
         print(f"\n{rendered}\n[saved to {path}]")
+
+    return _record
+
+
+@pytest.fixture()
+def record_report(obs_dir):
+    """Write a ScheduleResult's RunReport + Chrome trace under --obs-dir.
+
+    Returns the saved :class:`repro.obs.RunReport` (or ``None`` when
+    ``--obs-dir`` was not given).  The schedule must have been produced
+    with ``collect_tasks=True`` for the trace to carry spans.
+    """
+
+    def _record(name: str, schedule_result, label: str = "", config=None):
+        if obs_dir is None:
+            return None
+        from repro.obs import write_chrome_trace
+
+        report = schedule_result.run_report(label=label or name, config=config)
+        report.save(str(obs_dir / f"{name}.report.json"))
+        spans = schedule_result.spans()
+        if spans:
+            write_chrome_trace(str(obs_dir / f"{name}.trace.json"), spans)
+        print(f"\n[obs artifacts saved to {obs_dir}/{name}.*.json]")
+        return report
 
     return _record

@@ -42,6 +42,7 @@ DEFAULT_SCOPE = (
     "core/protocol.py",
     "bench/",
     "serve/",
+    "obs/",
     "crypto/encoding.py",
     "crypto/ciphertext.py",
 )

@@ -7,9 +7,15 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
-__all__ = ["format_table", "format_seconds", "format_ratio", "format_bytes"]
+__all__ = [
+    "format_table",
+    "format_seconds",
+    "format_ratio",
+    "format_bytes",
+    "phase_table",
+]
 
 
 def format_seconds(seconds: float) -> str:
@@ -63,3 +69,21 @@ def format_table(
     for row in text_rows:
         lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def phase_table(totals: Mapping[str, float], title: str = "") -> str:
+    """Render a phase -> busy-seconds breakdown with share-of-total.
+
+    The uniform rendering of ``SimEngine.phase_breakdown()``,
+    ``ScheduleResult.phase_totals`` and a RunReport's ``phases``
+    section (Tables 1-2 shape), sorted by descending time.
+    """
+    grand = sum(totals.values())
+    rows = [
+        (phase, format_seconds(seconds), f"{seconds / grand:.1%}" if grand else "-")
+        for phase, seconds in sorted(
+            totals.items(), key=lambda item: (-item[1], item[0])
+        )
+    ]
+    rows.append(("total", format_seconds(grand), "100.0%" if grand else "-"))
+    return format_table(("phase", "seconds", "share"), rows, title=title)

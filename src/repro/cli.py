@@ -6,10 +6,14 @@ Usage::
     python -m repro table2 fig7
     python -m repro all
     python -m repro list
+    python -m repro trace run.report.json -o run.trace.json
 
 Each experiment prints its rendered table; heavier experiments accept
 the same keyword knobs through the library API (see
-``repro.bench.experiments``).
+``repro.bench.experiments``).  The ``trace`` subcommand re-exports the
+spans stored in a saved :class:`~repro.obs.RunReport` as Chrome
+trace-event JSON (openable at https://ui.perfetto.dev) and prints the
+report's phase breakdown.
 """
 
 from __future__ import annotations
@@ -51,8 +55,51 @@ EXPERIMENTS: dict[str, tuple[str, object]] = {
 }
 
 
+def _trace_main(argv: list[str]) -> int:
+    """``repro trace``: saved RunReport -> Chrome trace + phase table."""
+    from repro.bench.report import phase_table
+    from repro.obs import RunReport
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Export the Chrome trace stored in a saved run report.",
+    )
+    parser.add_argument("report", help="RunReport JSON (e.g. from --report-out)")
+    parser.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="trace output path (default: <report stem>.trace.json)",
+    )
+    args = parser.parse_args(argv)
+
+    report = RunReport.load(args.report)
+    out = args.out
+    if out is None:
+        stem = args.report[:-5] if args.report.endswith(".json") else args.report
+        out = f"{stem}.trace.json"
+    try:
+        n_spans = report.write_chrome_trace(out)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"wrote {out} ({n_spans} spans; open at https://ui.perfetto.dev)")
+    if report.phases:
+        print(
+            phase_table(
+                report.phases,
+                title=f"{report.kind} run {report.label!r} phase breakdown:",
+            )
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point. Returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate VF2Boost (SIGMOD 2021) evaluation artifacts.",
@@ -61,7 +108,8 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         default=["list"],
-        help="experiment names (see 'list'), or 'all'",
+        help="experiment names (see 'list'), or 'all'; "
+        "or 'trace <report.json>' to export a saved trace",
     )
     args = parser.parse_args(argv)
 
@@ -71,6 +119,7 @@ def main(argv: list[str] | None = None) -> int:
         for name, (description, _) in EXPERIMENTS.items():
             print(f"  {name:<8} {description}")
         print("  all      run every experiment")
+        print("  trace    export Chrome trace from a saved run report")
         return 0
     if "all" in requested:
         requested = list(EXPERIMENTS)

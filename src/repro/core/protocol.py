@@ -75,6 +75,42 @@ class ScheduleResult:
     gantt: str = ""
     task_graphs: list[list[SimTask]] = field(default_factory=list)
 
+    def spans(self):
+        """Per-tree task graphs laid end-to-end on one global timeline.
+
+        Tree ``i``'s tasks are offset by the makespans of trees
+        ``0..i-1`` — the same serialization :attr:`makespan` assumes —
+        so exported traces show the whole run, not overlapping trees.
+        Empty unless scheduled with ``collect_tasks=True``.
+        """
+        from repro.obs.tracer import spans_from_tasks
+
+        spans = []
+        offset = 0.0
+        for index, tasks in enumerate(self.task_graphs):
+            spans.extend(spans_from_tasks(tasks, offset=offset, args={"tree": index}))
+            offset += self.per_tree[index]
+        return spans
+
+    def run_report(self, label: str = "", config: dict | None = None):
+        """Bundle this schedule as a :class:`~repro.obs.report.RunReport`."""
+        from repro.obs.report import RunReport
+
+        return RunReport(
+            kind="schedule",
+            label=label,
+            config=dict(config or {}),
+            metrics={
+                "bytes_per_tree": self.bytes_per_tree,
+                "per_tree_seconds": list(self.per_tree),
+                "root_breakdown": dict(self.root_breakdown),
+                "utilization": dict(self.utilization),
+            },
+            phases=dict(sorted(self.phase_totals.items())),
+            makespan=self.makespan,
+            spans=[span.to_dict() for span in self.spans()],
+        )
+
 
 @dataclass
 class _PartyWork:

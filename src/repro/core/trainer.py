@@ -46,7 +46,7 @@ from repro.core.enc_histogram import (
 )
 from repro.crypto.pairing import GradHessCodec
 from repro.core.trace import LayerTrace, NodeTrace, PartyShape, TraceLog, TreeTrace
-from repro.crypto.ciphertext import PaillierContext
+from repro.crypto.ciphertext import OpStats, PaillierContext
 from repro.fed.channel import RecordingChannel
 from repro.fed.messages import (
     CountedCipherPayload,
@@ -105,12 +105,49 @@ class FederatedModel:
 
 @dataclass
 class TrainResult:
-    """Everything a training run produces."""
+    """Everything a training run produces.
+
+    Attributes:
+        crypto_stats: per-party cipher-op counters (party id ->
+            :class:`~repro.crypto.ciphertext.OpStats` snapshot); only
+            populated in ``"real"`` crypto mode, where ops physically
+            execute.  Party ``ACTIVE`` did the Enc/Dec work, passive
+            parties the homomorphic accumulation.
+    """
 
     model: FederatedModel
     trace: TraceLog
     history: list[EvalRecord]
     channel: RecordingChannel
+    crypto_stats: dict[int, "OpStats"] = field(default_factory=dict)
+
+    def run_report(self, label: str = "", config: dict | None = None):
+        """Bundle this run as a :class:`~repro.obs.report.RunReport`.
+
+        Phase timings belong to the scheduler (price the
+        :attr:`trace` with a ``ProtocolScheduler`` for those); this
+        report carries the run's *exact* accounting — channel traffic
+        per direction and message type, and per-party crypto op counts.
+        """
+        from repro.obs.report import RunReport, channel_report
+
+        return RunReport(
+            kind="train",
+            label=label,
+            config=dict(config or {}),
+            metrics={
+                "n_trees": len(self.model.trees),
+                "n_instances": self.trace.n_instances,
+                "final_train_loss": (
+                    self.history[-1].train_loss if self.history else None
+                ),
+            },
+            channels=channel_report(self.channel),
+            parties={
+                str(party): stats.to_dict()
+                for party, stats in sorted(self.crypto_stats.items())
+            },
+        )
 
 
 class FederatedTrainer:
@@ -118,6 +155,9 @@ class FederatedTrainer:
 
     Args:
         config: system configuration (optimization flags, crypto mode...).
+        registry: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            that the run's channel and crypto contexts report into
+            (``channel.*`` and ``crypto.*`` counters).
 
     Example:
         >>> config = VF2BoostConfig.vf2boost(crypto_mode="counted")
@@ -125,8 +165,9 @@ class FederatedTrainer:
         >>> result = trainer.fit(party_datasets, labels)
     """
 
-    def __init__(self, config: VF2BoostConfig) -> None:
+    def __init__(self, config: VF2BoostConfig, registry=None) -> None:
         self.config = config
+        self.registry = registry
         self.loss: Loss = get_loss(config.params.objective)
         self._real = config.crypto_mode == "real"
 
@@ -162,7 +203,9 @@ class FederatedTrainer:
             raise ValueError("need at least one passive party")
 
         params = self.config.params
-        channel = RecordingChannel(self.config.key_bits, active_party=ACTIVE)
+        channel = RecordingChannel(
+            self.config.key_bits, active_party=ACTIVE, registry=self.registry
+        )
         context = self._make_context() if self._real else None
         public_contexts = (
             {p: context.public_context() for p in range(1, n_passive + 1)}
@@ -220,7 +263,18 @@ class FederatedTrainer:
                 except ValueError:
                     record.valid_auc = None
             history.append(record)
-        return TrainResult(model=model, trace=trace, history=history, channel=channel)
+        crypto_stats: dict[int, OpStats] = {}
+        if context is not None:
+            crypto_stats[ACTIVE] = context.stats.snapshot()
+            for p, public in public_contexts.items():
+                crypto_stats[p] = public.stats.snapshot()
+        return TrainResult(
+            model=model,
+            trace=trace,
+            history=history,
+            channel=channel,
+            crypto_stats=crypto_stats,
+        )
 
     # ------------------------------------------------------------------
     # Per-tree protocol
@@ -633,4 +687,5 @@ class FederatedTrainer:
             self.config.key_bits,
             seed=self.config.seed,
             jitter=self.config.exponent_jitter,
+            registry=self.registry,
         )

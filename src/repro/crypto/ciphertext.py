@@ -9,14 +9,17 @@ GBDT algorithm actually uses:
 * ``k (x) [[v]]`` — scalar multiplication;
 * cheap plaintext addition (used by histogram packing's shift).
 
-Every operation is counted in :class:`OpStats`, which the benchmark
-ledger reads to price protocols under the cost model.
+Every operation is counted twice, deliberately: in the context-local
+:class:`OpStats` (which the benchmark ledger reads to price protocols
+under the cost model, and which the ``CR003`` lint audits), and in a
+:class:`~repro.obs.metrics.MetricsRegistry` under ``crypto.*`` names so
+cross-subsystem run reports see crypto cost next to channel traffic.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.crypto.encoding import DEFAULT_BASE, DEFAULT_EXPONENT, EncodedNumber, Encoder
 from repro.crypto.paillier import (
@@ -25,6 +28,7 @@ from repro.crypto.paillier import (
     PaillierPublicKey,
     generate_keypair,
 )
+from repro.obs.metrics import MetricsRegistry, global_registry
 
 __all__ = ["OpStats", "EncryptedNumber", "PaillierContext"]
 
@@ -75,6 +79,10 @@ class OpStats:
         self.scalings = 0
         self.scalar_multiplications = 0
         self.plain_additions = 0
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-ready counter mapping (RunReport / golden guard)."""
+        return asdict(self)
 
 
 @dataclass(frozen=True)
@@ -133,6 +141,8 @@ class PaillierContext:
         jitter: exponent jitter window width (``E`` distinct exponents).
         rng: RNG for exponent jitter.
         obfuscator_pool_size: number of pre-computed obfuscators.
+        registry: metrics sink for the mirrored ``crypto.*`` counters
+            (the process-wide registry when omitted).
     """
 
     def __init__(
@@ -144,12 +154,14 @@ class PaillierContext:
         jitter: int = 1,
         rng: random.Random | None = None,
         obfuscator_pool_size: int = 0,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.public_key = public_key
         self._private_key = private_key
         self.encoder = Encoder(public_key, base, exponent, jitter, rng)
         self.pool = ObfuscatorPool(public_key, obfuscator_pool_size)
         self.stats = OpStats()
+        self.metrics = registry if registry is not None else global_registry()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -162,11 +174,20 @@ class PaillierContext:
         base: int = DEFAULT_BASE,
         exponent: int = DEFAULT_EXPONENT,
         jitter: int = 1,
+        registry: MetricsRegistry | None = None,
     ) -> "PaillierContext":
         """Generate a fresh keypair and wrap it in a context."""
         public, private = generate_keypair(key_bits, seed=seed)
         rng = random.Random(seed) if seed is not None else None
-        return cls(public, private, base=base, exponent=exponent, jitter=jitter, rng=rng)
+        return cls(
+            public,
+            private,
+            base=base,
+            exponent=exponent,
+            jitter=jitter,
+            rng=rng,
+            registry=registry,
+        )
 
     def public_context(self) -> "PaillierContext":
         """A decryption-less view of this context (what Party A gets)."""
@@ -176,6 +197,7 @@ class PaillierContext:
             base=self.encoder.base,
             exponent=self.encoder.exponent,
             jitter=self.encoder.jitter,
+            registry=self.metrics,
         )
         return clone
 
@@ -193,12 +215,14 @@ class PaillierContext:
         """Encode and encrypt a float, counting one encryption."""
         encoded = self.encoder.encode(value, exponent)
         self.stats.encryptions += 1
+        self.metrics.inc("crypto.enc")
         raw = self.public_key.raw_encrypt(encoded.value, self.pool.take())
         return EncryptedNumber(self, raw, encoded.exponent)
 
     def encrypt_encoded(self, encoded: EncodedNumber) -> EncryptedNumber:
         """Encrypt an already-encoded number."""
         self.stats.encryptions += 1
+        self.metrics.inc("crypto.enc")
         raw = self.public_key.raw_encrypt(encoded.value, self.pool.take())
         return EncryptedNumber(self, raw, encoded.exponent)
 
@@ -211,6 +235,7 @@ class PaillierContext:
         if self._private_key is None:
             raise PermissionError("this context has no private key")
         self.stats.decryptions += 1
+        self.metrics.inc("crypto.dec")
         value = self._private_key.raw_decrypt(number.ciphertext)
         return EncodedNumber(self.public_key, value, number.exponent)
 
@@ -219,6 +244,7 @@ class PaillierContext:
         if self._private_key is None:
             raise PermissionError("this context has no private key")
         self.stats.decryptions += 1
+        self.metrics.inc("crypto.dec")
         return self._private_key.raw_decrypt(number.ciphertext)
 
     # ------------------------------------------------------------------
@@ -234,6 +260,7 @@ class PaillierContext:
         """
         a, b = self._align(a, b)
         self.stats.additions += 1
+        self.metrics.inc("crypto.hadd")
         raw = self.public_key.raw_add(a.ciphertext, b.ciphertext)
         return EncryptedNumber(self, raw, a.exponent)
 
@@ -256,6 +283,7 @@ class PaillierContext:
             raise ValueError("cannot scale a cipher to lower precision")
         factor = self.encoder.base ** (exponent - number.exponent)
         self.stats.scalings += 1
+        self.metrics.inc("crypto.scale")
         raw = self.public_key.raw_multiply(number.ciphertext, factor)
         return EncryptedNumber(self, raw, exponent)
 
@@ -267,12 +295,14 @@ class PaillierContext:
         elif encoded.exponent > a.exponent:
             a = self.scale_to(a, encoded.exponent)
         self.stats.plain_additions += 1
+        self.metrics.inc("crypto.padd")
         raw = self.public_key.raw_add_plain(a.ciphertext, encoded.value)
         return EncryptedNumber(self, raw, a.exponent)
 
     def add_plain_raw(self, a: EncryptedNumber, raw_value: int) -> EncryptedNumber:
         """Add a raw integer (same exponent assumed) to a cipher."""
         self.stats.plain_additions += 1
+        self.metrics.inc("crypto.padd")
         raw = self.public_key.raw_add_plain(a.ciphertext, raw_value)
         return EncryptedNumber(self, raw, a.exponent)
 
@@ -284,10 +314,12 @@ class PaillierContext:
         """
         if isinstance(scalar, int) or float(scalar).is_integer():
             self.stats.scalar_multiplications += 1
+            self.metrics.inc("crypto.smul")
             raw = self.public_key.raw_multiply(a.ciphertext, int(scalar))
             return EncryptedNumber(self, raw, a.exponent)
         encoded = self.encoder.encode(scalar, exponent=None)
         self.stats.scalar_multiplications += 1
+        self.metrics.inc("crypto.smul")
         raw = self.public_key.raw_multiply(a.ciphertext, encoded.value)
         return EncryptedNumber(self, raw, a.exponent + encoded.exponent)
 
@@ -298,6 +330,7 @@ class PaillierContext:
         in the packed integer domain, not a fixed-point quantity.
         """
         self.stats.scalar_multiplications += 1
+        self.metrics.inc("crypto.smul")
         raw = self.public_key.raw_multiply(a.ciphertext, scalar)
         return EncryptedNumber(self, raw, a.exponent)
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import defaultdict, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -89,10 +89,27 @@ def _carries_floats(message: Message) -> bool:
 
 @dataclass
 class ChannelStats:
-    """Per-direction traffic accounting."""
+    """Traffic accounting for one direction (or one message type).
+
+    Attributes:
+        messages: messages sent.
+        bytes: payload bytes on the wire.
+        by_type: per-``Message``-subclass breakdown (class name ->
+            nested stats whose own ``by_type`` stays empty).  Populated
+            for per-direction entries in ``RecordingChannel.stats``.
+    """
 
     messages: int = 0
     bytes: int = 0
+    by_type: dict[str, "ChannelStats"] = field(default_factory=dict)
+
+    def record(self, type_name: str, size: int) -> None:
+        """Count one message of ``size`` bytes under ``type_name``."""
+        self.messages += 1
+        self.bytes += size
+        per_type = self.by_type.setdefault(type_name, ChannelStats())
+        per_type.messages += 1
+        per_type.bytes += size
 
 
 class RecordingChannel:
@@ -104,6 +121,9 @@ class RecordingChannel:
             anywhere else are checked against the ciphertext-only rule.
         strict: raise :class:`PrivacyViolation` on rule violations
             (``True`` in every trainer; tests flip it to probe).
+        registry: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            receiving ``channel.messages`` / ``channel.bytes`` and
+            per-type ``channel.<Type>.messages`` / ``.bytes`` counters.
     """
 
     #: message types that carry label-derived statistics
@@ -132,10 +152,17 @@ class RecordingChannel:
         LeafWeightBroadcast,
     )
 
-    def __init__(self, key_bits: int, active_party: int = 0, strict: bool = True) -> None:
+    def __init__(
+        self,
+        key_bits: int,
+        active_party: int = 0,
+        strict: bool = True,
+        registry=None,
+    ) -> None:
         self.key_bits = key_bits
         self.active_party = active_party
         self.strict = strict
+        self.registry = registry
         self._queues: dict[tuple[int, int], deque[Message]] = defaultdict(deque)
         self.stats: dict[tuple[int, int], ChannelStats] = defaultdict(ChannelStats)
         self.by_type: dict[str, ChannelStats] = defaultdict(ChannelStats)
@@ -146,13 +173,18 @@ class RecordingChannel:
         if self.strict and message.receiver != self.active_party:
             self._check_toward_passive(message)
         size = message.payload_bytes(self.key_bits)
+        type_name = type(message).__name__
         direction = (message.sender, message.receiver)
         self._queues[direction].append(message)
-        self.stats[direction].messages += 1
-        self.stats[direction].bytes += size
-        type_stats = self.by_type[type(message).__name__]
+        self.stats[direction].record(type_name, size)
+        type_stats = self.by_type[type_name]
         type_stats.messages += 1
         type_stats.bytes += size
+        if self.registry is not None:
+            self.registry.inc("channel.messages")
+            self.registry.inc("channel.bytes", size)
+            self.registry.inc(f"channel.{type_name}.messages")
+            self.registry.inc(f"channel.{type_name}.bytes", size)
         self.log.append(message)
 
     def _check_toward_passive(self, message: Message) -> None:
@@ -213,6 +245,18 @@ class RecordingChannel:
             for (_, dst), stats in self.stats.items()
             if dst == receiver
         )
+
+    def stats_report(self) -> dict:
+        """JSON-ready traffic summary (directions and types broken out).
+
+        The ``channels`` section of a
+        :class:`~repro.obs.report.RunReport`; built through
+        :func:`repro.obs.report.channel_report` so every emitter
+        serializes traffic the same way.
+        """
+        from repro.obs.report import channel_report
+
+        return channel_report(self)
 
     def reset_stats(self) -> None:
         """Zero the accounting (queues are untouched)."""

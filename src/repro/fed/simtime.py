@@ -196,12 +196,24 @@ class SimEngine:
         """Finish time of the last task."""
         return max((task.end for task in self.tasks), default=0.0)
 
+    def by_phase(self) -> dict[str, list[SimTask]]:
+        """Tasks grouped by phase tag, in submission order per group.
+
+        The single accessor the Chrome-trace exporter, the run-report
+        builders and :mod:`repro.bench.report` consume, so no caller
+        re-aggregates raw task lists.
+        """
+        groups: dict[str, list[SimTask]] = {}
+        for task in self.tasks:
+            groups.setdefault(task.phase, []).append(task)
+        return groups
+
     def phase_breakdown(self) -> dict[str, float]:
         """Total busy seconds per phase tag (sums across lanes)."""
-        breakdown: dict[str, float] = {}
-        for task in self.tasks:
-            breakdown[task.phase] = breakdown.get(task.phase, 0.0) + task.duration
-        return breakdown
+        return {
+            phase: sum(task.duration for task in tasks)
+            for phase, tasks in self.by_phase().items()
+        }
 
     def utilization(self, resource_name: str) -> float:
         """Busy fraction of a resource over the makespan (0..lanes)."""

@@ -1,0 +1,49 @@
+"""repro.obs — unified tracing, metrics and op-count accounting.
+
+The observability layer the paper's evaluation is written in: a
+process-wide :class:`MetricsRegistry` every subsystem reports into
+(crypto op counts, channel traffic, serve counters), a span-based
+:class:`Tracer` whose output — real-clocked or simulated — exports to
+Chrome trace-event JSON openable in Perfetto (Figures 4–6 as actual
+artifacts), a :class:`RunReport` bundling metrics + phase breakdown +
+per-party/per-channel totals, and a golden op-count regression guard
+(:mod:`repro.obs.golden`) that pins Enc/Dec/HAdd/SMul/bytes at a fixed
+shape so silent cost regressions fail tier-1.
+
+Zero third-party dependencies; the submodules import nothing from the
+rest of the package (components are duck-typed), so ``crypto``/``fed``/
+``serve`` can all report here without cycles.
+"""
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.obs.report import RunReport, channel_report
+from repro.obs.trace_export import (
+    chrome_trace,
+    chrome_trace_events,
+    dumps_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracer import Span, Tracer, spans_from_tasks
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "RunReport",
+    "Span",
+    "Tracer",
+    "channel_report",
+    "chrome_trace",
+    "chrome_trace_events",
+    "dumps_chrome_trace",
+    "global_registry",
+    "spans_from_tasks",
+    "write_chrome_trace",
+]

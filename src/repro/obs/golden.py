@@ -1,0 +1,146 @@
+"""Golden op-count regression guard.
+
+The paper's speedups are *counting* arguments: blaster encryption and
+pair packing change how many Enc operations run, re-ordered
+accumulation trades scalings for plain HAdds, histogram packing divides
+the Dec count and the A->B bytes by the pack width ``t``.  A silent
+regression in any of those counts invalidates every performance claim
+while all functional tests stay green — the model is still correct, it
+is just secretly more expensive.
+
+This module trains a tiny (but real-crypto: every Paillier operation
+physically executes) two-party run at a fixed shape for the full
+VF2Boost configuration and the SecureBoost-style unoptimized baseline,
+and reduces each run to its exact cost fingerprint: per-party
+Enc/Dec/HAdd/Scale/SMul counts, bytes on the wire, and per-message-type
+byte totals.  ``tests/golden/opcounts.json`` pins the expected
+fingerprints; ``tests/test_obs_golden.py`` fails tier-1 on any drift.
+
+Everything is seeded (dataset, keygen, exponent jitter), so the counts
+are exact integers, not tolerances.  Regenerate after an *intentional*
+cost change with::
+
+    PYTHONPATH=src python -m repro.obs.golden tests/golden/opcounts.json
+
+and justify the new numbers in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import numpy as np
+
+__all__ = ["GOLDEN_SHAPE", "golden_fingerprint", "golden_fingerprints"]
+
+#: the fixed workload shape every golden count is pinned at
+GOLDEN_SHAPE = {
+    "n_instances": 48,
+    "n_features": 6,
+    "n_trees": 2,
+    "n_layers": 3,
+    "n_bins": 4,
+    "key_bits": 256,
+    "blaster_batch_size": 16,
+    "seed": 20210614,  # the paper's SIGMOD publication date
+}
+
+
+def _variant_config(variant: str):
+    """The named protocol variant at the golden shape."""
+    from repro.core.config import VF2BoostConfig
+    from repro.gbdt.params import GBDTParams
+
+    params = GBDTParams(
+        n_trees=GOLDEN_SHAPE["n_trees"],
+        n_layers=GOLDEN_SHAPE["n_layers"],
+        n_bins=GOLDEN_SHAPE["n_bins"],
+    )
+    common = dict(
+        params=params,
+        crypto_mode="real",
+        key_bits=GOLDEN_SHAPE["key_bits"],
+        blaster_batch_size=GOLDEN_SHAPE["blaster_batch_size"],
+        seed=GOLDEN_SHAPE["seed"],
+    )
+    if variant == "vf2boost":
+        return VF2BoostConfig.vf2boost(**common)
+    if variant == "secureboost":
+        return VF2BoostConfig.vf_gbdt(**common)
+    raise ValueError(f"unknown golden variant {variant!r}")
+
+
+def _golden_dataset():
+    """The fixed two-party vertical partition (seeded, shape-pinned)."""
+    from repro.gbdt.binning import bin_dataset
+
+    rng = np.random.default_rng(GOLDEN_SHAPE["seed"])
+    n, d = GOLDEN_SHAPE["n_instances"], GOLDEN_SHAPE["n_features"]
+    features = rng.normal(size=(n, d))
+    labels = ((features @ rng.normal(size=d)) > 0).astype(float)
+    full = bin_dataset(features, GOLDEN_SHAPE["n_bins"])
+    half = d // 2
+    parties = [
+        full.subset_features(np.arange(0, half)),  # Party B (active)
+        full.subset_features(np.arange(half, d)),  # Party A (passive)
+    ]
+    return parties, labels
+
+
+def golden_fingerprint(variant: str) -> dict:
+    """Train one variant at the golden shape; return its cost fingerprint.
+
+    The fingerprint holds only exact, seeded-deterministic integers:
+    per-party op counts, total/bytes-per-direction wire accounting and
+    per-message-type byte totals.
+    """
+    from repro.core.trainer import FederatedTrainer
+
+    parties, labels = _golden_dataset()
+    result = FederatedTrainer(_variant_config(variant)).fit(parties, labels)
+    channel = result.channel
+    return {
+        "ops": {
+            str(party): stats.to_dict()
+            for party, stats in sorted(result.crypto_stats.items())
+        },
+        "bytes_on_wire": channel.total_bytes(),
+        "bytes_by_direction": {
+            f"{src}->{dst}": stats.bytes
+            for (src, dst), stats in sorted(channel.stats.items())
+        },
+        "bytes_by_type": {
+            name: stats.bytes for name, stats in sorted(channel.by_type.items())
+        },
+        "messages": sum(stats.messages for stats in channel.stats.values()),
+    }
+
+
+def golden_fingerprints() -> dict:
+    """Fingerprints of every guarded variant, plus the shape they pin."""
+    return {
+        "shape": dict(GOLDEN_SHAPE),
+        "variants": {
+            variant: golden_fingerprint(variant)
+            for variant in ("vf2boost", "secureboost")
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Regenerate the golden file: ``python -m repro.obs.golden <path>``."""
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.golden <output.json>", file=sys.stderr)
+        return 2
+    data = golden_fingerprints()
+    with open(argv[0], "w") as handle:
+        json.dump(data, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {argv[0]}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration helper
+    raise SystemExit(main())

@@ -1,0 +1,197 @@
+"""Process-wide metrics: counters, gauges and streaming histograms.
+
+One :class:`MetricsRegistry` is the sink every subsystem reports into:
+the crypto layer counts Enc/Dec/HAdd/SMul (the unit operations the
+paper's cost model prices, §5), the channel counts messages and bytes
+per direction and type (§6.2's resource-utilization input), and the
+serving runtime counts requests, round trips and latency quantiles.
+
+Everything here is zero-dependency and fed *deterministic* quantities
+(operation counts, simulated seconds, wire bytes), so snapshots are
+bit-repeatable across runs — the registry is part of the repository's
+exact-repeatability contract, not an approximate monitoring sidecar.
+Quantiles are exact (computed from retained samples), not sketched:
+bench-scale sample counts make that the simpler and more honest choice.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "global_registry",
+]
+
+#: default latency bucket upper bounds, in simulated seconds
+LATENCY_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+#: default occupancy/depth bucket upper bounds (counts)
+COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with exact quantiles.
+
+    Attributes:
+        bounds: ascending bucket upper bounds; one implicit overflow
+            bucket sits above the last bound.
+    """
+
+    bounds: tuple[float, ...] = LATENCY_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    samples: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("bucket bounds must be ascending")
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        bucket = len(self.bounds)
+        for k, bound in enumerate(self.bounds):
+            if value <= bound:
+                bucket = k
+                break
+        self.counts[bucket] += 1
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.samples)
+
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def quantile(self, q: float) -> float:
+        """Exact q-quantile via the nearest-rank method (0.0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary: count, mean, p50/p95/p99, buckets."""
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": max(self.samples) if self.samples else 0.0,
+            "buckets": {
+                **{f"le_{bound:g}": self.counts[k] for k, bound in enumerate(self.bounds)},
+                "overflow": self.counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Names are flat dotted strings (``"crypto.enc"``,
+    ``"channel.bytes"``, ``"serve.requests"``); the dots are a naming
+    convention, not a hierarchy.  All accessors create on first use, so
+    reporting code never has to pre-register anything.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> int:
+        """Bump a monotonic counter; returns the new value."""
+        value = self._counters.get(name, 0) + amount
+        self._counters[name] = value
+        return value
+
+    def get(self, name: str) -> int:
+        """Read a counter (0 when never bumped)."""
+        return self._counters.get(name, 0)
+
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        """Counters whose name starts with ``prefix``, prefix stripped."""
+        return {
+            name[len(prefix):]: value
+            for name, value in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge."""
+        self._gauges[name] = float(value)
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        """Read a gauge (``default`` when never set)."""
+        return self._gauges.get(name, default)
+
+    # ------------------------------------------------------------------
+    # Histograms
+    # ------------------------------------------------------------------
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = LATENCY_BUCKETS
+    ) -> Histogram:
+        """Get-or-create a histogram (``bounds`` apply on creation only)."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(bounds)
+        return self._histograms[name]
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into a (get-or-create) histogram."""
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One JSON-ready view of everything, keys sorted (repeatable)."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: hist.snapshot()
+                for name, hist in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int | None = 1) -> str:
+        """Serialized :meth:`snapshot` (sorted keys, repeatable bytes)."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Drop every counter, gauge and histogram."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: the process-wide default sink; components report here unless handed
+#: an explicit registry (tests create fresh ones for isolation)
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _GLOBAL

@@ -1,0 +1,130 @@
+"""RunReport: one JSON artifact per run, with everything attached.
+
+A :class:`RunReport` bundles what the paper's evaluation sections keep
+re-deriving: a metrics snapshot (crypto op counts, channel traffic,
+serve counters), a per-phase time breakdown (Tables 1–2), per-channel
+and per-party totals (§6.2), and optionally the raw spans so the
+associated Chrome trace can be regenerated later with ``repro trace``.
+
+Emitters: :meth:`repro.core.trainer.TrainResult.run_report`,
+:meth:`repro.core.protocol.ScheduleResult.run_report`, the serve bench
+(``--report-out``) and the ``benchmarks/`` scripts (``--obs-dir``).
+The builders here are duck-typed (a "channel" is anything with
+``stats``/``by_type`` shaped like :class:`repro.fed.channel.ChannelStats`)
+so this module imports nothing from the rest of the package beyond the
+tracer/exporter it fronts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.obs.tracer import Span
+from repro.obs.trace_export import write_chrome_trace
+
+__all__ = ["RunReport", "channel_report"]
+
+#: schema version for saved report files
+REPORT_VERSION = 1
+
+
+def channel_report(channel) -> dict:
+    """JSON-ready traffic summary of a RecordingChannel-like object.
+
+    Expects ``channel.stats`` mapping ``(sender, receiver)`` to objects
+    with ``messages``/``bytes``/``by_type`` attributes and a channel
+    level ``channel.by_type`` of the same shape (duck-typed).
+    """
+    directions = {}
+    for (sender, receiver), stats in sorted(channel.stats.items()):
+        directions[f"{sender}->{receiver}"] = {
+            "messages": stats.messages,
+            "bytes": stats.bytes,
+            "by_type": {
+                name: {"messages": per.messages, "bytes": per.bytes}
+                for name, per in sorted(stats.by_type.items())
+            },
+        }
+    return {
+        "total_bytes": sum(s.bytes for s in channel.stats.values()),
+        "total_messages": sum(s.messages for s in channel.stats.values()),
+        "directions": directions,
+        "by_type": {
+            name: {"messages": per.messages, "bytes": per.bytes}
+            for name, per in sorted(channel.by_type.items())
+        },
+    }
+
+
+@dataclass
+class RunReport:
+    """The one-file summary of a train / schedule / serve run.
+
+    Attributes:
+        kind: what produced it — ``"train"``, ``"schedule"``,
+            ``"serve"`` or ``"benchmark"``.
+        label: free-form run label (config preset, bench scenario).
+        config: JSON-ready run configuration.
+        metrics: a :meth:`MetricsRegistry.snapshot` (or compatible).
+        phases: busy seconds per phase tag (Tables 1–2 shape).
+        channels: :func:`channel_report` output (or compatible).
+        parties: per-party totals, e.g. crypto op counts keyed by
+            party id (stringified for JSON).
+        makespan: end-to-end seconds (simulated or wall).
+        spans: serialized spans (:meth:`Span.to_dict`); lets
+            ``repro trace`` regenerate the Chrome trace offline.
+    """
+
+    kind: str
+    label: str = ""
+    config: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    phases: dict = field(default_factory=dict)
+    channels: dict = field(default_factory=dict)
+    parties: dict = field(default_factory=dict)
+    makespan: float = 0.0
+    spans: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (includes the schema version)."""
+        data = asdict(self)
+        data["version"] = REPORT_VERSION
+        return data
+
+    def to_json(self, indent: int | None = 1) -> str:
+        """Serialized :meth:`to_dict` with repeatable key order."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        """Write the report JSON to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "RunReport":
+        """Read a report written by :meth:`save`."""
+        with open(path) as handle:
+            data = json.load(handle)
+        data.pop("version", None)
+        return cls(**data)
+
+    def span_objects(self) -> list[Span]:
+        """The stored spans as :class:`Span` objects."""
+        return [Span.from_dict(item) for item in self.spans]
+
+    def write_chrome_trace(self, path: str) -> int:
+        """Export the stored spans as Chrome trace JSON; returns count.
+
+        Raises:
+            ValueError: when the report carries no spans (emitted
+                without ``--trace-out``-style span retention).
+        """
+        spans = self.span_objects()
+        if not spans:
+            raise ValueError(
+                f"report {self.label!r} holds no spans; re-run its "
+                "producer with span retention (e.g. --trace-out)"
+            )
+        write_chrome_trace(path, spans)
+        return len(spans)

@@ -35,12 +35,20 @@ from repro.fed.cluster import ClusterSpec
 from repro.fed.messages import RouteQuery
 from repro.gbdt.binning import bin_dataset
 from repro.gbdt.params import GBDTParams
+from repro.obs import (
+    MetricsRegistry,
+    RunReport,
+    Tracer,
+    channel_report,
+    write_chrome_trace,
+)
 from repro.serve.loadgen import (
     LoadgenConfig,
     make_party_delay,
     make_requests,
     run_closed_loop,
 )
+from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import ModelRegistry
 from repro.serve.resilience import RetryPolicy
 from repro.serve.session import ServeConfig, ServingRuntime
@@ -139,8 +147,18 @@ def run_bench(
     n_requests: int | None = None,
     concurrency: int | None = None,
     seed: int = 7,
+    trace_out: str | None = None,
+    report_out: str | None = None,
 ) -> dict:
-    """Run all three scenarios; returns the JSON-ready report."""
+    """Run all three scenarios; returns the JSON-ready report.
+
+    Args:
+        trace_out: also write a Chrome trace of the batched runtime's
+            admission / request / round-trip spans (Perfetto-loadable).
+        report_out: also write a :class:`~repro.obs.RunReport` whose
+            phase totals equal the trace's per-category duration sums
+            and whose metrics come from the shared registry.
+    """
     if smoke:
         params = GBDTParams(n_trees=3, n_layers=4, n_bins=8)
         n_train, n_features = 240, 8
@@ -169,8 +187,19 @@ def run_bench(
     requests = make_requests(load)
 
     # --- micro-batched serving runtime --------------------------------
+    # One observability sink for the whole batched scenario: serve
+    # counters, channel traffic and the span trace all land here.
+    obs_registry = MetricsRegistry()
+    tracer = Tracer()
     runtime = ServingRuntime(
-        registry, cluster=cluster, config=serve_config
+        registry,
+        cluster=cluster,
+        config=serve_config,
+        channel=RecordingChannel(
+            serve_config.key_bits, active_party=ACTIVE, registry=obs_registry
+        ),
+        metrics=ServeMetrics(obs_registry),
+        tracer=tracer,
     )
     completions = run_closed_loop(runtime, requests, concurrency)
     snapshot = runtime.snapshot()
@@ -279,6 +308,22 @@ def run_bench(
             "degraded_rate": degraded_snapshot["rates"]["degraded_rate"],
         },
     }
+
+    if trace_out or report_out:
+        run_report = RunReport(
+            kind="serve",
+            label="smoke" if smoke else "full",
+            config=dict(report["config"]),
+            metrics=obs_registry.snapshot(),
+            phases=tracer.phase_totals(),
+            channels=channel_report(runtime.channel),
+            makespan=tracer.makespan,
+            spans=[span.to_dict() for span in tracer.spans],
+        )
+        if trace_out:
+            write_chrome_trace(trace_out, tracer.spans)
+        if report_out:
+            run_report.save(report_out)
     return report
 
 
@@ -297,6 +342,16 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke", action="store_true", help="small sizes for CI (seconds)"
     )
     parser.add_argument("--out", default="BENCH_serve.json", help="report path")
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a Chrome trace (Perfetto) of the batched runtime",
+    )
+    parser.add_argument(
+        "--report-out",
+        default=None,
+        help="write a RunReport JSON (metrics + phases + spans)",
+    )
     parser.add_argument("--requests", type=int, default=None)
     parser.add_argument("--concurrency", type=int, default=None)
     parser.add_argument("--seed", type=int, default=7)
@@ -307,12 +362,18 @@ def main(argv: list[str] | None = None) -> int:
         n_requests=args.requests,
         concurrency=args.concurrency,
         seed=args.seed,
+        trace_out=args.trace_out,
+        report_out=args.report_out,
     )
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=1)
     ratios = report["ratios"]
     parity = report["parity"]
     print(f"wrote {args.out}")
+    if args.trace_out:
+        print(f"wrote {args.trace_out} (open at https://ui.perfetto.dev)")
+    if args.report_out:
+        print(f"wrote {args.report_out}")
     print(
         "round trips/1k: naive "
         f"{report['naive']['round_trips_per_1k']:.1f} -> batched "

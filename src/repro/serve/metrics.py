@@ -1,91 +1,30 @@
-"""Serving metrics: counters, histograms and a JSON snapshot API.
+"""Serving metrics, re-implemented on the shared observability registry.
 
-Everything here is fed *simulated* quantities (simtime seconds, channel
-bytes), so snapshots are bit-repeatable across runs — the serving
-counterpart of the trainer's deterministic accounting.  Quantiles are
-exact (computed from retained samples), not sketched: bench-scale
-sample counts make that the simpler and more honest choice.
+The counters and distributions live in a
+:class:`~repro.obs.metrics.MetricsRegistry` under ``serve.*`` names, so
+a run report shows serving cost next to channel traffic and crypto op
+counts from the same sink.  The public surface is unchanged from the
+pre-``repro.obs`` ad-hoc class: ``inc``/``get``, the named histogram
+attributes, an assignable ``wire_bytes``, ``snapshot()``/``to_json()``.
+
+:class:`Histogram` is re-exported from :mod:`repro.obs.metrics` (its
+new home) for compatibility.
 """
 
 from __future__ import annotations
 
 import json
-import math
-from dataclasses import dataclass, field
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+)
 
 __all__ = ["Histogram", "ServeMetrics"]
 
-#: default latency bucket upper bounds, in simulated seconds
-LATENCY_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
-
-#: default occupancy/depth bucket upper bounds (counts)
-COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
-
-
-@dataclass
-class Histogram:
-    """Fixed-bucket histogram with exact quantiles.
-
-    Attributes:
-        bounds: ascending bucket upper bounds; one implicit overflow
-            bucket sits above the last bound.
-    """
-
-    bounds: tuple[float, ...] = LATENCY_BUCKETS
-    counts: list[int] = field(default_factory=list)
-    samples: list[float] = field(default_factory=list)
-
-    def __post_init__(self) -> None:
-        if list(self.bounds) != sorted(self.bounds):
-            raise ValueError("bucket bounds must be ascending")
-        if not self.counts:
-            self.counts = [0] * (len(self.bounds) + 1)
-
-    def observe(self, value: float) -> None:
-        """Record one sample."""
-        bucket = len(self.bounds)
-        for k, bound in enumerate(self.bounds):
-            if value <= bound:
-                bucket = k
-                break
-        self.counts[bucket] += 1
-        self.samples.append(float(value))
-
-    @property
-    def count(self) -> int:
-        """Number of recorded samples."""
-        return len(self.samples)
-
-    def mean(self) -> float:
-        """Arithmetic mean (0.0 when empty)."""
-        if not self.samples:
-            return 0.0
-        return sum(self.samples) / len(self.samples)
-
-    def quantile(self, q: float) -> float:
-        """Exact q-quantile via the nearest-rank method (0.0 when empty)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        if not self.samples:
-            return 0.0
-        ordered = sorted(self.samples)
-        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
-        return ordered[rank]
-
-    def snapshot(self) -> dict:
-        """JSON-ready summary: count, mean, p50/p95/p99, buckets."""
-        return {
-            "count": self.count,
-            "mean": self.mean(),
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
-            "max": max(self.samples) if self.samples else 0.0,
-            "buckets": {
-                **{f"le_{bound:g}": self.counts[k] for k, bound in enumerate(self.bounds)},
-                "overflow": self.counts[-1],
-            },
-        }
+_PREFIX = "serve."
 
 
 class ServeMetrics:
@@ -102,24 +41,49 @@ class ServeMetrics:
         ``batch_occupancy`` (items per flushed routing batch),
         ``batch_rows`` (instance ids per flushed routing batch),
         ``queue_depth`` (in-flight requests sampled at each admission).
+
+    Args:
+        registry: shared sink to report into (a private one is created
+            when omitted, which keeps independent runtimes isolated the
+            way the original ad-hoc class was).
     """
 
-    def __init__(self) -> None:
-        self.counters: dict[str, int] = {}
-        self.latency = Histogram(LATENCY_BUCKETS)
-        self.batch_occupancy = Histogram(COUNT_BUCKETS)
-        self.batch_rows = Histogram(COUNT_BUCKETS)
-        self.queue_depth = Histogram(COUNT_BUCKETS)
-        #: wire bytes are set from the channel's ledger at snapshot time
-        self.wire_bytes = 0
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.latency = self.registry.histogram(_PREFIX + "latency", LATENCY_BUCKETS)
+        self.batch_occupancy = self.registry.histogram(
+            _PREFIX + "batch_occupancy", COUNT_BUCKETS
+        )
+        self.batch_rows = self.registry.histogram(
+            _PREFIX + "batch_rows", COUNT_BUCKETS
+        )
+        self.queue_depth = self.registry.histogram(
+            _PREFIX + "queue_depth", COUNT_BUCKETS
+        )
 
     def inc(self, name: str, amount: int = 1) -> None:
         """Bump a named counter."""
-        self.counters[name] = self.counters.get(name, 0) + amount
+        self.registry.inc(_PREFIX + name, amount)
 
     def get(self, name: str) -> int:
         """Read a counter (0 when never bumped)."""
-        return self.counters.get(name, 0)
+        return self.registry.get(_PREFIX + name)
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """The ``serve.*`` counters, prefix stripped (excl. wire bytes)."""
+        counters = self.registry.counters(_PREFIX)
+        counters.pop("wire_bytes", None)
+        return counters
+
+    @property
+    def wire_bytes(self) -> int:
+        """Wire bytes, set from the channel's ledger at snapshot time."""
+        return int(self.registry.gauge(_PREFIX + "wire_bytes"))
+
+    @wire_bytes.setter
+    def wire_bytes(self, value: int) -> None:
+        self.registry.set_gauge(_PREFIX + "wire_bytes", value)
 
     def _rate(self, numerator: str, denominator: str) -> float:
         denom = self.get(denominator)
@@ -133,7 +97,7 @@ class ServeMetrics:
     def snapshot(self) -> dict:
         """One JSON-ready view of every counter and distribution."""
         return {
-            "counters": dict(sorted(self.counters.items())),
+            "counters": self.counters,
             "rates": {
                 "cache_hit_rate": self._rate("cache_hits", "cache_lookups"),
                 "degraded_rate": self._rate("degraded_requests", "completed"),

@@ -44,6 +44,7 @@ from repro.fed.channel import RecordingChannel
 from repro.fed.cluster import ClusterSpec
 from repro.fed.messages import RouteAnswerBatch, RouteQueryBatch
 from repro.gbdt.loss import sigmoid
+from repro.obs.tracer import Tracer
 from repro.serve.batcher import MicroBatcher, RouteWork
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import ModelRegistry, ModelVersion
@@ -196,6 +197,9 @@ class ServingRuntime:
         party_delay: deterministic fault injection —
             ``(party, batch_id, attempt) -> extra seconds`` added to
             that attempt's answer time (``None`` = healthy parties).
+        tracer: optional :class:`~repro.obs.tracer.Tracer` collecting
+            admission / request / round-trip spans on the simulated
+            clock (exportable as a Chrome trace).
     """
 
     def __init__(
@@ -207,6 +211,7 @@ class ServingRuntime:
         channel: RecordingChannel | None = None,
         metrics: ServeMetrics | None = None,
         party_delay: Callable[[int, int, int], float] | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.registry = registry
         self.cluster = cluster or ClusterSpec()
@@ -217,6 +222,7 @@ class ServingRuntime:
         )
         self.metrics = metrics or ServeMetrics()
         self.party_delay = party_delay
+        self.tracer = tracer
         self.batcher = MicroBatcher(
             self.config.max_batch_size, self.config.max_delay
         )
@@ -290,6 +296,15 @@ class ServingRuntime:
             return
         version = self.registry.active()
         admitted = now + self.config.admission_cost
+        if self.tracer is not None:
+            self.tracer.add(
+                f"admit#{request.request_id}",
+                now,
+                admitted,
+                category="Admit",
+                track="B.serve",
+                request_id=request.request_id,
+            )
         n_rows = request.n_rows()
         n_trees = len(version.model.trees)
 
@@ -471,9 +486,22 @@ class ServingRuntime:
         if self.party_delay is not None:
             rtt += self.party_delay(party, record.batch_id, record.attempt)
         if rtt <= self.retry.timeout or not self.config.degraded_enabled:
-            self._push(now + rtt, "deliver", record)
+            done, outcome = now + rtt, "deliver"
         else:
-            self._push(now + self.retry.timeout, "timeout", record)
+            done, outcome = now + self.retry.timeout, "timeout"
+        if self.tracer is not None:
+            self.tracer.add(
+                f"rt#{record.batch_id}.{record.attempt}",
+                now,
+                done,
+                category="RoundTrip",
+                track=f"party{party}.wire",
+                lane=record.batch_id % 8,
+                batch_id=record.batch_id,
+                attempt=record.attempt,
+                outcome=outcome,
+            )
+        self._push(done, outcome, record)
 
     def _deliver(self, record: _InFlight, now: float) -> None:
         self._party_health(record.party).record_success()
@@ -566,6 +594,17 @@ class ServingRuntime:
         self.metrics.inc("completed")
         self.metrics.inc("predictions", n_rows)
         self.metrics.latency.observe(now - session.admitted)
+        if self.tracer is not None:
+            self.tracer.add(
+                f"req#{session.request.request_id}",
+                session.admitted,
+                now,
+                category="Request",
+                track="requests",
+                lane=session.request.request_id % 16,
+                request_id=session.request.request_id,
+                rows=n_rows,
+            )
         missed = now > session.deadline
         if missed:
             self.metrics.inc("deadline_misses")

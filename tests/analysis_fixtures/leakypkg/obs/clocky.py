@@ -1,0 +1,13 @@
+"""DET001 fixture: a tracer that reads the host clock itself.
+
+The real :mod:`repro.obs.tracer` takes an *injected* clock callable so
+spans are replayable; reaching for ``time.perf_counter()`` inside an
+observability module silently couples traces to wall time.
+"""
+
+import time
+
+
+class SneakyTracer:
+    def now(self):
+        return time.perf_counter()

@@ -100,6 +100,27 @@ class TestChannelAccounting:
         stats = channel.by_type["SplitQuery"]
         assert stats.messages == 2
 
+    def test_per_direction_by_type_breakdown(self):
+        channel = RecordingChannel(256)
+        channel.send(SplitQuery(0, 1))
+        channel.send(SplitQuery(0, 1))
+        channel.send(CountedCipherPayload(1, 0, kind="hist", n_ciphers=2))
+        forward = channel.stats[(0, 1)]
+        assert forward.by_type["SplitQuery"].messages == 2
+        assert forward.by_type["SplitQuery"].bytes == forward.bytes
+        assert "CountedCipherPayload" not in forward.by_type
+        backward = channel.stats[(1, 0)]
+        assert backward.by_type["CountedCipherPayload"].bytes == 2 * 64 + 8
+
+    def test_stats_report_structure(self):
+        channel = RecordingChannel(256)
+        channel.send(SplitQuery(0, 1))
+        channel.send(CountedCipherPayload(1, 0, kind="hist", n_ciphers=1))
+        report = channel.stats_report()
+        assert report["total_messages"] == 2
+        assert report["directions"]["0->1"]["by_type"]["SplitQuery"]["messages"] == 1
+        assert report["directions"]["1->0"]["bytes"] == 64 + 8
+
     def test_reset_stats_keeps_queue(self):
         channel = RecordingChannel(256)
         channel.send(SplitQuery(0, 1))

@@ -1,0 +1,70 @@
+"""Golden op-count regression guard (tier-1).
+
+The paper's speedups are counting arguments — blaster encryption,
+re-ordered accumulation and histogram packing each change *how many*
+Paillier operations and wire bytes a tree costs.  This test retrains
+the fixed golden shape with real crypto and compares the exact cost
+fingerprint against ``tests/golden/opcounts.json``.  Any drift in an
+Enc/Dec/HAdd/Scale/SMul count or a byte total fails tier-1: either the
+change is an accidental cost regression, or it is intentional and the
+golden file must be regenerated (see ``repro/obs/golden.py``) with the
+new numbers justified.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.golden import GOLDEN_SHAPE, golden_fingerprints
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "opcounts.json"
+
+
+@pytest.fixture(scope="module")
+def expected():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def actual():
+    return golden_fingerprints()
+
+
+class TestGoldenOpCounts:
+    def test_shape_matches_checked_in_shape(self, expected, actual):
+        assert actual["shape"] == expected["shape"] == GOLDEN_SHAPE
+
+    @pytest.mark.parametrize("variant", ["vf2boost", "secureboost"])
+    def test_fingerprint_matches(self, expected, actual, variant):
+        want = expected["variants"][variant]
+        got = actual["variants"][variant]
+        assert got == want, (
+            f"{variant} cost fingerprint drifted from tests/golden/opcounts.json.\n"
+            "If this cost change is intentional, regenerate with\n"
+            "  PYTHONPATH=src python -m repro.obs.golden tests/golden/opcounts.json\n"
+            "and justify the new counts in the commit message."
+        )
+
+
+class TestGoldenEncodesPaperClaims:
+    """The checked-in numbers themselves must tell the paper's story."""
+
+    def test_histogram_packing_halves_decryptions(self, expected):
+        variants = expected["variants"]
+        dec_base = variants["secureboost"]["ops"]["0"]["decryptions"]
+        dec_packed = variants["vf2boost"]["ops"]["0"]["decryptions"]
+        assert dec_packed * 2 == dec_base  # pack width t=2 at 256-bit keys
+
+    def test_packing_shrinks_a_to_b_bytes(self, expected):
+        variants = expected["variants"]
+        base = variants["secureboost"]["bytes_by_direction"]["1->0"]
+        packed = variants["vf2boost"]["bytes_by_direction"]["1->0"]
+        assert packed < base
+
+    def test_total_wire_bytes_drop(self, expected):
+        variants = expected["variants"]
+        assert (
+            variants["vf2boost"]["bytes_on_wire"]
+            < variants["secureboost"]["bytes_on_wire"]
+        )

@@ -466,3 +466,31 @@ class TestBenchSmoke:
         assert report["ratios"]["round_trip_reduction"] >= 5.0
         assert report["degraded_scenario"]["degraded_requests"] > 0
         assert report["batched"]["snapshot"]["counters"]["requests"] > 0
+
+    def test_smoke_emits_obs_artifacts(self, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        trace_out = tmp_path / "serve.trace.json"
+        report_out = tmp_path / "serve.report.json"
+        rc = serve_bench.main(
+            [
+                "--smoke",
+                "--out", str(out),
+                "--trace-out", str(trace_out),
+                "--report-out", str(report_out),
+            ]
+        )
+        assert rc == 0
+        trace = json.loads(trace_out.read_text())
+        events = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert events
+        run_report = json.loads(report_out.read_text())
+        assert run_report["kind"] == "serve"
+        assert run_report["channels"]["total_messages"] > 0
+        # The trace and the report must agree on per-phase totals.
+        by_cat: dict = {}
+        for event in events:
+            by_cat[event["cat"]] = by_cat.get(event["cat"], 0.0) + event["dur"]
+        for phase, seconds in run_report["phases"].items():
+            assert by_cat[phase] / 1_000_000 == pytest.approx(
+                seconds, abs=1e-5
+            )
