@@ -1,0 +1,66 @@
+"""Host calibration — unit-cost profile, drift verdict, perf-gate scenario.
+
+Fidelity: **real** — the profile microbenchmarks this repository's
+Paillier implementation on the current host, then judges its cost
+*ratios* (Dec/Enc, SMul/HAdd, packing efficiency) against the paper's
+§6.1 references.  A passing drift check is the precondition for
+comparing this host's measured numbers (Figure 7, ``BENCH_perf.json``)
+with the committed history.
+"""
+
+import json
+
+from repro.bench.calibrate import calibrate, check_drift
+from repro.bench.perfdb import PerfDB, counted_scenario, gate
+from repro.bench.report import format_table
+
+KEY_BITS = 512
+SAMPLES = 24
+
+
+def render_profile(profile, report) -> str:
+    cost_rows = [
+        (name, f"{seconds * 1e6:.1f}us")
+        for name, seconds in sorted(profile.unit_costs.items())
+    ]
+    cost_rows.append(("cipher_bytes", str(profile.cipher_bytes)))
+    cost_rows.append(
+        ("packing_gain", f"{profile.packing_gain:.2f} (width {profile.pack_width})")
+    )
+    table = format_table(
+        ("unit cost", "value"),
+        cost_rows,
+        title=f"calibration @ {profile.key_bits}-bit",
+    )
+    return table + "\n\ndrift vs paper references:\n" + "\n".join(report.lines())
+
+
+def test_calibration_profile_and_drift(benchmark, record_result, obs_dir):
+    """Calibrate this host and require a drift-free verdict."""
+    profile = benchmark.pedantic(
+        lambda: calibrate(key_bits=KEY_BITS, samples=SAMPLES), rounds=1, iterations=1
+    )
+    report = check_drift(profile)
+    record_result("calibration_profile", render_profile(profile, report))
+    if obs_dir is not None:
+        profile.save(str(obs_dir / "calibration_profile.json"))
+        (obs_dir / "calibration_drift.json").write_text(
+            json.dumps(report.to_dict(), indent=1, sort_keys=True) + "\n"
+        )
+    assert report.ok, "\n".join(line for line in report.lines() if "DRIFT" in line)
+
+
+def test_perf_gate_scenario_is_repeatable(benchmark, record_result):
+    """The bench-gate's exact scenario must be bit-identical on rerun."""
+    first = counted_scenario()
+    again = benchmark.pedantic(counted_scenario, rounds=1, iterations=1)
+    assert again == first
+    result = gate(PerfDB([first]), [again])
+    assert result.ok
+    record_result("perf_gate_scenario", "\n".join(result.lines()))
+
+
+def test_bench_calibrate_pass(benchmark):
+    benchmark.pedantic(
+        lambda: calibrate(key_bits=256, samples=8), rounds=1, iterations=1
+    )

@@ -7,9 +7,14 @@ that silently:
 
 * **DET001 — wall-clock reads** (``time.time``, ``time.perf_counter``,
   ``datetime.now``, ...): simulated time must come from the engine,
-  never the host.  ``repro.bench.microbench`` measures *real* crypto
-  throughput by design; its timing loops carry explicit
-  ``# repro: allow[DET001]`` suppressions.
+  never the host.  Both *calls* and wall-clock *references as function
+  parameter defaults* (``timer=time.perf_counter``) are flagged — a
+  defaulted timer hard-codes the host clock just as surely as calling
+  it, only one stack frame later.  ``repro.bench.microbench`` measures
+  *real* crypto throughput by design; its timing loops carry explicit
+  ``# repro: allow[DET001]`` suppressions, and the injectable-timer
+  defaults in ``bench/costmodel.py`` / ``bench/calibrate.py`` carry
+  line-level ones.
 
 * **DET002 — nondeterministic randomness**: unseeded
   ``random.Random()`` / ``numpy.random.default_rng()`` construction,
@@ -31,7 +36,13 @@ from __future__ import annotations
 
 import ast
 
-from repro.analysis.astutils import ModuleInfo, PackageIndex, call_name, node_span
+from repro.analysis.astutils import (
+    ModuleInfo,
+    PackageIndex,
+    call_name,
+    dotted_name,
+    node_span,
+)
 from repro.analysis.findings import Finding, Reporter, Severity
 
 __all__ = ["DeterminismChecker", "DEFAULT_SCOPE", "run"]
@@ -120,6 +131,8 @@ class DeterminismChecker:
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
                 self._check_call(module, node, reporter)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                self._check_defaults(module, node, reporter)
             if isinstance(node, ast.For):
                 self._check_set_iteration(module, node.iter, set_names, reporter)
             elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
@@ -194,6 +207,25 @@ class DeterminismChecker:
                 f"{resolved!r} is deliberately nondeterministic and must not "
                 "reach simulation results",
             )
+
+    def _check_defaults(self, module: ModuleInfo, node, reporter: Reporter) -> None:
+        """DET001 for wall-clock *references* in parameter defaults."""
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            name = dotted_name(default)
+            resolved = module.resolve(name) if name else None
+            if resolved in WALL_CLOCK:
+                self._emit(
+                    reporter,
+                    module,
+                    default,
+                    "DET001",
+                    f"wall-clock function {resolved!r} as a parameter default "
+                    "hard-codes the host clock; inject the timer at the call "
+                    "site (simulation callers pass a deterministic one)",
+                )
 
     # ------------------------------------------------------------------
     # DET003

@@ -1,5 +1,33 @@
-"""Benchmark harness: cost models, experiment runners, table rendering."""
+"""Benchmark harness: cost models, calibration, perf gate, rendering."""
 
+from repro.bench.calibrate import (
+    CalibrationProfile,
+    DriftReport,
+    calibrate,
+    check_drift,
+)
 from repro.bench.costmodel import CostModel
+from repro.bench.perfdb import (
+    GateResult,
+    PerfDB,
+    PerfEntry,
+    PerfScalar,
+    counted_scenario,
+    fig7_scenario,
+    gate,
+)
 
-__all__ = ["CostModel"]
+__all__ = [
+    "CalibrationProfile",
+    "CostModel",
+    "DriftReport",
+    "GateResult",
+    "PerfDB",
+    "PerfEntry",
+    "PerfScalar",
+    "calibrate",
+    "check_drift",
+    "counted_scenario",
+    "fig7_scenario",
+    "gate",
+]

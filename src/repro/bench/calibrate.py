@@ -1,0 +1,351 @@
+"""Host calibration profiles and cost-ratio drift detection.
+
+The simulator prices protocols with :meth:`CostModel.paper` constants,
+but every *measured* number in this repository (Figure 7 throughputs,
+``CostModel.measured()`` unit costs) depends on the host it ran on.  A
+:class:`CalibrationProfile` freezes one such measurement into a JSON
+artifact — unit costs, cipher size, packed-decryption gain, and a host
+fingerprint — so later runs can (a) rebuild the exact cost model via
+:meth:`CostModel.from_profile` and (b) ask whether the *shape* of the
+costs still matches the paper's §6.1 environment.
+
+Drift is judged on dimensionless ratios, not absolute times: absolute
+unit costs vary by orders of magnitude across hosts and key sizes, but
+the paper's speedup arguments only need the ratios (Dec/Enc, SMul/HAdd,
+per-value packing efficiency) to stay in the same regime.
+:func:`check_drift` compares a profile's ratios against the
+paper-pinned references with generous multiplicative tolerances and
+reports every ratio that escaped its band — the signal that either the
+crypto implementation regressed or the host is too unlike the paper's
+environment for measured numbers to be comparable.
+
+Determinism: :func:`calibrate` accepts an injected ``timer`` exactly
+like :meth:`CostModel.measured`; with a fake monotonic counter the
+whole profile (and therefore the drift verdict) is bit-repeatable.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.bench.costmodel import CostModel
+
+__all__ = [
+    "DEFAULT_TOLERANCES",
+    "CalibrationProfile",
+    "DriftCheck",
+    "DriftReport",
+    "calibrate",
+    "check_drift",
+    "host_fingerprint",
+    "paper_ratios",
+]
+
+#: schema version for saved profile files
+PROFILE_VERSION = 1
+
+#: the CostModel fields a profile freezes (seconds per operation)
+UNIT_COST_FIELDS = (
+    "t_enc",
+    "t_dec",
+    "t_hadd",
+    "t_scale",
+    "t_smul",
+    "t_smul_small",
+    "t_plain_accum",
+    "t_split_bin",
+)
+
+#: multiplicative drift bands per ratio: a check fails when
+#: max(measured/reference, reference/measured) exceeds the factor.
+#: Bands are wide on purpose — they separate "different host, same
+#: regime" (Python bignum vs the paper's C library lands well inside)
+#: from "the cost structure changed" (an op got 10x slower relative to
+#: its peers, packing stopped amortizing decryptions).
+DEFAULT_TOLERANCES = {
+    "dec_over_enc": 4.0,
+    "smul_over_hadd": 6.0,
+    "packing_efficiency": 4.0,
+}
+
+
+def host_fingerprint() -> dict:
+    """Stable facts about the measuring host (metadata, never gated)."""
+    import os
+
+    return {
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
+def paper_ratios() -> dict:
+    """The reference cost ratios implied by :meth:`CostModel.paper`.
+
+    ``packing_efficiency`` is per-value gain over pack width; the ideal
+    (one decryption recovers a full pack, zero unpack overhead) is 1.0.
+    """
+    paper = CostModel.paper()
+    return {
+        "dec_over_enc": paper.t_dec / paper.t_enc,
+        "smul_over_hadd": paper.t_smul / paper.t_hadd,
+        "packing_efficiency": 1.0,
+    }
+
+
+@dataclass(frozen=True)
+class CalibrationProfile:
+    """One host's measured crypto cost structure, as a JSON artifact.
+
+    Attributes:
+        key_bits: Paillier modulus size the measurement ran at.
+        unit_costs: seconds per operation, keyed by the
+            :class:`CostModel` field names in :data:`UNIT_COST_FIELDS`.
+        cipher_bytes: wire size of one cipher at ``key_bits``.
+        packing_gain: measured per-value decryption speedup of
+            polynomial packing over plain decryption.
+        pack_width: values per pack in the packing measurement.
+        samples: operations per measurement.
+        seed: keygen/value seed the measurement used.
+        host: :func:`host_fingerprint` of the measuring machine.
+    """
+
+    key_bits: int
+    unit_costs: dict
+    cipher_bytes: int
+    packing_gain: float
+    pack_width: int
+    samples: int
+    seed: int
+    host: dict = field(default_factory=dict)
+
+    def ratios(self) -> dict:
+        """This profile's dimensionless cost ratios (drift inputs)."""
+        return {
+            "dec_over_enc": self.unit_costs["t_dec"] / self.unit_costs["t_enc"],
+            "smul_over_hadd": self.unit_costs["t_smul"] / self.unit_costs["t_hadd"],
+            "packing_efficiency": self.packing_gain / max(1, self.pack_width),
+        }
+
+    def cost_model(self) -> CostModel:
+        """The :class:`CostModel` this profile freezes."""
+        return CostModel.from_profile(self)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": PROFILE_VERSION,
+            "key_bits": self.key_bits,
+            "unit_costs": dict(sorted(self.unit_costs.items())),
+            "cipher_bytes": self.cipher_bytes,
+            "packing_gain": self.packing_gain,
+            "pack_width": self.pack_width,
+            "samples": self.samples,
+            "seed": self.seed,
+            "host": dict(sorted(self.host.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibrationProfile":
+        data = dict(data)
+        data.pop("version", None)
+        return cls(**data)
+
+    def save(self, path: str) -> None:
+        """Write the profile JSON to ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "CalibrationProfile":
+        """Read a profile written by :meth:`save`."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    @classmethod
+    def from_cost_model(
+        cls,
+        cost: CostModel,
+        *,
+        key_bits: int,
+        packing_gain: float,
+        pack_width: int,
+        samples: int = 0,
+        seed: int = 0,
+        host: dict | None = None,
+    ) -> "CalibrationProfile":
+        """Freeze an existing :class:`CostModel` into a profile."""
+        return cls(
+            key_bits=key_bits,
+            unit_costs={name: getattr(cost, name) for name in UNIT_COST_FIELDS},
+            cipher_bytes=cost.cipher_bytes,
+            packing_gain=packing_gain,
+            pack_width=pack_width,
+            samples=samples,
+            seed=seed,
+            host=host if host is not None else {},
+        )
+
+
+def _measure_packing(
+    key_bits: int,
+    samples: int,
+    seed: int,
+    timer: Callable[[], float],
+    limb_bits: int = 32,
+) -> tuple[float, int]:
+    """Per-value packed-decryption gain vs plain decryption.
+
+    Returns ``(gain, pack_width)``; ideal gain equals the width.
+    """
+    import random
+
+    from repro.crypto.ciphertext import PaillierContext
+    from repro.crypto.packing import pack_capacity, pack_ciphers, unpack_values
+
+    context = PaillierContext.create(key_bits, seed=seed, jitter=1)
+    rng = random.Random(seed)
+    width = min(pack_capacity(context.public_key, limb_bits), samples)
+    positive = [
+        context.encrypt(float(rng.randrange(1 << (limb_bits // 2))), exponent=0)
+        for _ in range(width)
+    ]
+
+    start = timer()
+    for cipher in positive:
+        context.decrypt(cipher)
+    per_value_plain = (timer() - start) / width
+
+    packed = pack_ciphers(context, positive, limb_bits)
+    repeats = max(1, samples // width)
+    start = timer()
+    for _ in range(repeats):
+        unpack_values(context, packed)
+    per_value_packed = (timer() - start) / (repeats * width)
+    return per_value_plain / max(per_value_packed, 1e-12), width
+
+
+def calibrate(
+    key_bits: int = 512,
+    samples: int = 24,
+    seed: int = 7,
+    timer: Callable[[], float] = time.perf_counter,  # repro: allow[DET001] -- calibration times real crypto by design; tests inject a fake timer
+) -> CalibrationProfile:
+    """Microbenchmark this host into a :class:`CalibrationProfile`."""
+    cost = CostModel.measured(
+        key_bits=key_bits, samples=samples, seed=seed, timer=timer
+    )
+    gain, width = _measure_packing(key_bits, samples, seed, timer)
+    return CalibrationProfile.from_cost_model(
+        cost,
+        key_bits=key_bits,
+        packing_gain=gain,
+        pack_width=width,
+        samples=samples,
+        seed=seed,
+        host=host_fingerprint(),
+    )
+
+
+@dataclass(frozen=True)
+class DriftCheck:
+    """One ratio's verdict: measured vs reference within tolerance?"""
+
+    name: str
+    measured: float
+    reference: float
+    factor: float
+    tolerance: float
+    ok: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "measured": self.measured,
+            "reference": self.reference,
+            "factor": self.factor,
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """All ratio checks of one profile against the paper references."""
+
+    key_bits: int
+    checks: tuple
+
+    @property
+    def ok(self) -> bool:
+        """Whether every ratio stayed inside its tolerance band."""
+        return all(check.ok for check in self.checks)
+
+    def failures(self) -> list[DriftCheck]:
+        """The checks that escaped their band (empty when :attr:`ok`)."""
+        return [check for check in self.checks if not check.ok]
+
+    def to_dict(self) -> dict:
+        return {
+            "key_bits": self.key_bits,
+            "ok": self.ok,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+    def lines(self) -> list[str]:
+        """Human-readable one-line-per-check rendering."""
+        out = []
+        for check in self.checks:
+            verdict = "ok" if check.ok else "DRIFT"
+            out.append(
+                f"{check.name}: measured {check.measured:.4g} vs "
+                f"reference {check.reference:.4g} "
+                f"(x{check.factor:.2f} <= x{check.tolerance:g}) {verdict}"
+            )
+        return out
+
+
+def check_drift(
+    profile: CalibrationProfile,
+    tolerances: dict | None = None,
+) -> DriftReport:
+    """Judge a profile's cost ratios against the paper references.
+
+    Args:
+        profile: the measured host profile.
+        tolerances: per-ratio multiplicative bands; defaults to
+            :data:`DEFAULT_TOLERANCES` (missing names fall back to the
+            default band for that name, unknown names are ignored).
+    """
+    bands = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        bands.update(tolerances)
+    references = paper_ratios()
+    measured = profile.ratios()
+    checks = []
+    for name in sorted(references):
+        reference = references[name]
+        value = measured[name]
+        if value > 0 and reference > 0:
+            factor = max(value / reference, reference / value)
+        else:
+            factor = float("inf")
+        tolerance = float(bands[name])
+        checks.append(
+            DriftCheck(
+                name=name,
+                measured=value,
+                reference=reference,
+                factor=factor,
+                tolerance=tolerance,
+                ok=factor <= tolerance,
+            )
+        )
+    return DriftReport(key_bits=profile.key_bits, checks=tuple(checks))

@@ -18,12 +18,10 @@ the competitors' measured slowdowns as multipliers, as DESIGN.md §1
 documents.
 """
 
-# repro: allow-file[DET001] -- CostModel.measured() times real crypto
-# ops with the wall clock by design; simulations use CostModel.paper().
-
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, replace
 
 __all__ = ["CostModel"]
@@ -158,11 +156,34 @@ class CostModel:
         return cls.paper().scaled(8.9)
 
     @classmethod
+    def from_profile(cls, profile) -> "CostModel":
+        """Build a model from a saved :class:`CalibrationProfile`.
+
+        ``profile`` is duck-typed: anything with a ``unit_costs`` dict
+        keyed by this dataclass's ``t_*`` field names and a
+        ``cipher_bytes`` attribute (see
+        :class:`repro.bench.calibrate.CalibrationProfile`).
+        """
+        costs = profile.unit_costs
+        return cls(
+            t_enc=float(costs["t_enc"]),
+            t_dec=float(costs["t_dec"]),
+            t_hadd=float(costs["t_hadd"]),
+            t_scale=float(costs["t_scale"]),
+            t_smul=float(costs["t_smul"]),
+            t_smul_small=float(costs["t_smul_small"]),
+            t_plain_accum=float(costs["t_plain_accum"]),
+            t_split_bin=float(costs["t_split_bin"]),
+            cipher_bytes=int(profile.cipher_bytes),
+        )
+
+    @classmethod
     def measured(
         cls,
         key_bits: int = 512,
         samples: int = 30,
         seed: int = 7,
+        timer: Callable[[], float] = time.perf_counter,  # repro: allow[DET001] -- measuring real crypto is this method's purpose; simulations use paper()
     ) -> "CostModel":
         """Microbenchmark this repository's Paillier implementation.
 
@@ -171,6 +192,9 @@ class CostModel:
             samples: operations per measurement (kept small; unit costs
                 are stable well below 100 samples).
             seed: deterministic keygen seed.
+            timer: zero-argument seconds source.  The default measures
+                real wall time; tests inject a fake monotonic counter
+                to make the returned costs deterministic.
         """
         import random
 
@@ -180,43 +204,43 @@ class CostModel:
         rng = random.Random(seed)
         values = [rng.uniform(-1.0, 1.0) for _ in range(samples)]
 
-        start = time.perf_counter()
+        start = timer()
         ciphers = [context.encrypt(v) for v in values]
-        t_enc = (time.perf_counter() - start) / samples
+        t_enc = (timer() - start) / samples
 
-        start = time.perf_counter()
+        start = timer()
         for cipher in ciphers:
             context.decrypt(cipher)
-        t_dec = (time.perf_counter() - start) / samples
+        t_dec = (timer() - start) / samples
 
-        start = time.perf_counter()
+        start = timer()
         total = ciphers[0]
         for cipher in ciphers[1:]:
             total = context.add(total, cipher)
-        t_hadd = (time.perf_counter() - start) / max(1, samples - 1)
+        t_hadd = (timer() - start) / max(1, samples - 1)
 
-        start = time.perf_counter()
+        start = timer()
         for cipher in ciphers:
             context.scale_to(cipher, cipher.exponent + 2)
-        t_scale = (time.perf_counter() - start) / samples
+        t_scale = (timer() - start) / samples
 
-        start = time.perf_counter()
+        start = timer()
         for cipher in ciphers:
             context.multiply(cipher, 123456789)
-        t_smul = (time.perf_counter() - start) / samples
+        t_smul = (timer() - start) / samples
 
-        start = time.perf_counter()
+        start = timer()
         for cipher in ciphers:
             context.multiply_raw(cipher, 1 << 64)
-        t_smul_small = (time.perf_counter() - start) / samples
+        t_smul_small = (timer() - start) / samples
 
         # Plaintext accumulation cost: numpy-loop-grade estimate.
         import numpy as np
 
         array = np.asarray(values * 40, dtype=np.float64)
-        start = time.perf_counter()
+        start = timer()
         np.add.reduce(array)
-        t_plain = max(1e-9, (time.perf_counter() - start) / array.size)
+        t_plain = max(1e-9, (timer() - start) / array.size)
 
         return cls(
             t_enc=t_enc,

@@ -40,6 +40,7 @@ from repro.gbdt.params import GBDTParams
 __all__ = [
     "PAPER_PARAMS",
     "run_fig7",
+    "run_fig7_data",
     "run_table1",
     "run_table2",
     "run_table3",
@@ -57,6 +58,11 @@ PAPER_PARAMS = GBDTParams(n_trees=20, learning_rate=0.1, n_layers=7, n_bins=20)
 # ----------------------------------------------------------------------
 # Figure 7 — crypto operation throughputs
 # ----------------------------------------------------------------------
+def run_fig7_data(key_bits: int = 512, samples: int = 48) -> dict:
+    """Measure the Figure 7 throughputs; return them JSON-ready."""
+    return crypto_throughputs(key_bits=key_bits, samples=samples).to_dict()
+
+
 def run_fig7(key_bits: int = 512, samples: int = 48) -> str:
     """Measure and render the Figure 7 throughput chart."""
     report = crypto_throughputs(key_bits=key_bits, samples=samples)

@@ -51,6 +51,22 @@ class ThroughputReport:
         """Per-value decryption gain from packing."""
         return self.dec_packed / self.dec
 
+    def to_dict(self) -> dict:
+        """JSON-ready report: every field plus the derived gains."""
+        return {
+            "key_bits": self.key_bits,
+            "n_exponents": self.n_exponents,
+            "enc": self.enc,
+            "dec": self.dec,
+            "hadd_naive": self.hadd_naive,
+            "hadd_reordered": self.hadd_reordered,
+            "smul": self.smul,
+            "dec_packed": self.dec_packed,
+            "pack_width": self.pack_width,
+            "reorder_gain": self.reorder_gain(),
+            "packing_gain": self.packing_gain(),
+        }
+
 
 def crypto_throughputs(
     key_bits: int = 512,

@@ -1,0 +1,432 @@
+"""Append-only performance database and benchmark regression gate.
+
+The repository's performance claims rest on two kinds of numbers with
+very different trust models:
+
+* **exact** scalars — op counts from a counted-mode training run and
+  simulated makespans from the analytic scheduler.  These are seeded,
+  deterministic quantities; any change at all is a regression (or an
+  intentional cost change that must re-baseline the database).  They
+  are gated *bit-exactly* against the most recent baseline.
+* **measured** scalars — real crypto throughputs (Figure 7).  These
+  are noisy; they are gated against the median of a sliding window of
+  prior entries with a noise-aware tolerance, and only in the
+  direction that means "worse".
+
+``BENCH_perf.json`` at the repository root is the committed database:
+every ``python -m repro bench-gate`` run appends one entry per scenario
+after the gate passes, so the history *is* the baseline.  The gate
+exits nonzero on any regression, making it a CI tripwire in the same
+spirit as the golden op-count guard — but covering end-to-end scenario
+totals and real throughput rather than per-op fingerprints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PERF_SHAPE",
+    "GateResult",
+    "GateVerdict",
+    "PerfDB",
+    "PerfEntry",
+    "PerfScalar",
+    "counted_scenario",
+    "fig7_scenario",
+    "gate",
+]
+
+#: database file schema version
+DB_VERSION = 1
+
+#: the fixed workload shape of the op-count scenario: tiny but
+#: real-crypto, so every op total is a physically executed count
+PERF_SHAPE = {
+    "n_instances": 32,
+    "n_features": 4,
+    "n_trees": 1,
+    "n_layers": 2,
+    "n_bins": 4,
+    "key_bits": 256,
+    "blaster_batch_size": 16,
+    "seed": 20210614,
+}
+
+
+@dataclass(frozen=True)
+class PerfScalar:
+    """One gated number.
+
+    Attributes:
+        value: the number itself.
+        kind: ``"exact"`` (bit-equal gate) or ``"measured"``
+            (windowed, noise-aware gate).
+        direction: which way is *better* — ``"lower"`` (times, op
+            counts, bytes) or ``"higher"`` (throughputs).  Measured
+            scalars only fail in the worse direction.
+    """
+
+    value: float
+    kind: str = "exact"
+    direction: str = "lower"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("exact", "measured"):
+            raise ValueError(f"unknown scalar kind {self.kind!r}")
+        if self.direction not in ("lower", "higher"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+
+    def to_dict(self) -> dict:
+        return {"value": self.value, "kind": self.kind, "direction": self.direction}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PerfScalar":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class PerfEntry:
+    """One scenario run: a named bag of scalars plus free-form meta."""
+
+    name: str
+    scalars: dict
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "scalars": {
+                key: scalar.to_dict() for key, scalar in sorted(self.scalars.items())
+            },
+            "meta": dict(sorted(self.meta.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PerfEntry":
+        return cls(
+            name=data["name"],
+            scalars={
+                key: PerfScalar.from_dict(value)
+                for key, value in data.get("scalars", {}).items()
+            },
+            meta=dict(data.get("meta", {})),
+        )
+
+
+class PerfDB:
+    """The append-only entry list behind ``BENCH_perf.json``."""
+
+    def __init__(self, entries: list[PerfEntry] | None = None) -> None:
+        self.entries: list[PerfEntry] = list(entries or [])
+
+    def history(self, name: str) -> list[PerfEntry]:
+        """Prior entries of one scenario, oldest first."""
+        return [entry for entry in self.entries if entry.name == name]
+
+    def append(self, entry: PerfEntry) -> None:
+        self.entries.append(entry)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": DB_VERSION,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "PerfDB":
+        """Read a database file; a missing file is an empty database."""
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            return cls()
+        return cls([PerfEntry.from_dict(item) for item in data.get("entries", [])])
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def counted_scenario() -> PerfEntry:
+    """Exact scenario: counted op totals + simulated makespan.
+
+    Trains a tiny real-crypto VF2Boost run at :data:`PERF_SHAPE` (ops
+    physically execute, so :class:`OpStats` counts them exactly) and
+    prices the same shape through the analytic scheduler at paper
+    costs.  Every scalar is a seeded, deterministic quantity, gated
+    bit-exactly.
+    """
+    import numpy as np
+
+    from repro.bench.costmodel import CostModel
+    from repro.core.config import VF2BoostConfig
+    from repro.core.profile import analytic_trace
+    from repro.core.protocol import ProtocolScheduler
+    from repro.core.trainer import FederatedTrainer
+    from repro.fed.cluster import PAPER_CLUSTER
+    from repro.gbdt.binning import bin_dataset
+    from repro.gbdt.params import GBDTParams
+
+    shape = PERF_SHAPE
+    params = GBDTParams(
+        n_trees=shape["n_trees"],
+        n_layers=shape["n_layers"],
+        n_bins=shape["n_bins"],
+    )
+    config = VF2BoostConfig.vf2boost(
+        params=params,
+        crypto_mode="real",
+        key_bits=shape["key_bits"],
+        blaster_batch_size=shape["blaster_batch_size"],
+        seed=shape["seed"],
+    )
+    rng = np.random.default_rng(shape["seed"])
+    n, d = shape["n_instances"], shape["n_features"]
+    features = rng.normal(size=(n, d))
+    labels = ((features @ rng.normal(size=d)) > 0).astype(float)
+    full = bin_dataset(features, shape["n_bins"])
+    half = d // 2
+    parties = [
+        full.subset_features(np.arange(0, half)),
+        full.subset_features(np.arange(half, d)),
+    ]
+    result = FederatedTrainer(config).fit(parties, labels)
+
+    totals = {"enc": 0, "dec": 0, "hadd": 0, "scale": 0, "smul": 0}
+    for stats in result.crypto_stats.values():
+        totals["enc"] += stats.encryptions
+        totals["dec"] += stats.decryptions
+        totals["hadd"] += stats.additions
+        totals["scale"] += stats.scalings
+        totals["smul"] += stats.scalar_multiplications
+
+    trace = analytic_trace(
+        shape["n_instances"],
+        half,
+        [d - half],
+        density=1.0,
+        n_bins=shape["n_bins"],
+        n_layers=shape["n_layers"],
+        n_trees=shape["n_trees"],
+    )
+    makespan = (
+        ProtocolScheduler(config, CostModel.paper(), PAPER_CLUSTER)
+        .schedule(trace)
+        .makespan
+    )
+
+    scalars = {
+        f"ops.{op}": PerfScalar(float(count), kind="exact", direction="lower")
+        for op, count in sorted(totals.items())
+    }
+    scalars["bytes_on_wire"] = PerfScalar(
+        float(result.channel.total_bytes()), kind="exact", direction="lower"
+    )
+    scalars["messages"] = PerfScalar(
+        float(sum(s.messages for s in result.channel.stats.values())),
+        kind="exact",
+        direction="lower",
+    )
+    scalars["sim_makespan"] = PerfScalar(makespan, kind="exact", direction="lower")
+    return PerfEntry(name="counted-train", scalars=scalars, meta=dict(shape))
+
+
+def fig7_scenario(key_bits: int = 512, samples: int = 48) -> PerfEntry:
+    """Measured scenario: real Figure 7 throughputs (noise-gated)."""
+    from repro.bench.microbench import crypto_throughputs
+
+    report = crypto_throughputs(key_bits=key_bits, samples=samples)
+    scalars = {
+        name: PerfScalar(value, kind="measured", direction="higher")
+        for name, value in (
+            ("enc_ops_per_s", report.enc),
+            ("dec_ops_per_s", report.dec),
+            ("hadd_reordered_ops_per_s", report.hadd_reordered),
+            ("dec_packed_values_per_s", report.dec_packed),
+        )
+    }
+    return PerfEntry(
+        name="fig7",
+        scalars=scalars,
+        meta={"key_bits": key_bits, "samples": samples},
+    )
+
+
+# ----------------------------------------------------------------------
+# The gate
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GateVerdict:
+    """One scalar's gate outcome."""
+
+    entry: str
+    scalar: str
+    value: float
+    baseline: float | None
+    ok: bool
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "entry": self.entry,
+            "scalar": self.scalar,
+            "value": self.value,
+            "baseline": self.baseline,
+            "ok": self.ok,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """All verdicts of one gate run."""
+
+    verdicts: tuple
+
+    @property
+    def ok(self) -> bool:
+        return all(verdict.ok for verdict in self.verdicts)
+
+    def failures(self) -> list[GateVerdict]:
+        return [verdict for verdict in self.verdicts if not verdict.ok]
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok, "verdicts": [v.to_dict() for v in self.verdicts]}
+
+    def lines(self) -> list[str]:
+        out = []
+        for verdict in self.verdicts:
+            status = "ok" if verdict.ok else "REGRESSION"
+            out.append(
+                f"{verdict.entry}.{verdict.scalar}: {verdict.value:g} "
+                f"({verdict.reason}) {status}"
+            )
+        return out
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def gate(
+    db: PerfDB,
+    entries: list[PerfEntry],
+    window: int = 5,
+    measured_rtol: float = 0.25,
+) -> GateResult:
+    """Judge new entries against the database history.
+
+    * A scenario with no history bootstraps: every scalar passes.
+    * An **exact** scalar must be bit-equal to the most recent baseline
+      value; an exact scalar present in the latest baseline but absent
+      from the new entry fails (silently dropped coverage).
+    * A **measured** scalar is compared against the median of the last
+      ``window`` baseline values with tolerance
+      ``max(measured_rtol * |median|, 2 * window_spread)`` — and only
+      fails when it is *worse* (per its ``direction``) beyond that.
+    """
+    verdicts = []
+    for entry in entries:
+        history = db.history(entry.name)
+        if not history:
+            for key, scalar in sorted(entry.scalars.items()):
+                verdicts.append(
+                    GateVerdict(
+                        entry=entry.name,
+                        scalar=key,
+                        value=scalar.value,
+                        baseline=None,
+                        ok=True,
+                        reason="bootstrap: no prior entries",
+                    )
+                )
+            continue
+        latest = history[-1]
+        for key in sorted(latest.scalars):
+            if latest.scalars[key].kind == "exact" and key not in entry.scalars:
+                verdicts.append(
+                    GateVerdict(
+                        entry=entry.name,
+                        scalar=key,
+                        value=float("nan"),
+                        baseline=latest.scalars[key].value,
+                        ok=False,
+                        reason="exact scalar missing from new entry",
+                    )
+                )
+        for key, scalar in sorted(entry.scalars.items()):
+            if scalar.kind == "exact":
+                if key not in latest.scalars:
+                    verdicts.append(
+                        GateVerdict(
+                            entry=entry.name,
+                            scalar=key,
+                            value=scalar.value,
+                            baseline=None,
+                            ok=True,
+                            reason="new exact scalar",
+                        )
+                    )
+                    continue
+                baseline = latest.scalars[key].value
+                ok = scalar.value == baseline
+                verdicts.append(
+                    GateVerdict(
+                        entry=entry.name,
+                        scalar=key,
+                        value=scalar.value,
+                        baseline=baseline,
+                        ok=ok,
+                        reason=f"exact vs {baseline:g}",
+                    )
+                )
+                continue
+            # Measured: sliding-window median with noise-aware tolerance.
+            values = [
+                prior.scalars[key].value
+                for prior in history[-window:]
+                if key in prior.scalars
+            ]
+            if not values:
+                verdicts.append(
+                    GateVerdict(
+                        entry=entry.name,
+                        scalar=key,
+                        value=scalar.value,
+                        baseline=None,
+                        ok=True,
+                        reason="new measured scalar",
+                    )
+                )
+                continue
+            center = _median(values)
+            spread = max(values) - min(values)
+            tolerance = max(measured_rtol * abs(center), 2.0 * spread)
+            if scalar.direction == "higher":
+                ok = scalar.value >= center - tolerance
+            else:
+                ok = scalar.value <= center + tolerance
+            verdicts.append(
+                GateVerdict(
+                    entry=entry.name,
+                    scalar=key,
+                    value=scalar.value,
+                    baseline=center,
+                    ok=ok,
+                    reason=(
+                        f"measured vs median {center:g} "
+                        f"+/- {tolerance:g} over {len(values)} entries"
+                    ),
+                )
+            )
+    return GateResult(verdicts=tuple(verdicts))

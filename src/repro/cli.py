@@ -4,16 +4,25 @@ Usage::
 
     python -m repro table1
     python -m repro table2 fig7
+    python -m repro fig7 util --json
     python -m repro all
     python -m repro list
     python -m repro trace run.report.json -o run.trace.json
+    python -m repro bench-gate --db BENCH_perf.json
+    python -m repro calibrate -o profile.json --check
 
 Each experiment prints its rendered table; heavier experiments accept
 the same keyword knobs through the library API (see
-``repro.bench.experiments``).  The ``trace`` subcommand re-exports the
-spans stored in a saved :class:`~repro.obs.RunReport` as Chrome
-trace-event JSON (openable at https://ui.perfetto.dev) and prints the
-report's phase breakdown.
+``repro.bench.experiments``).  ``--json`` switches the experiments
+that produce structured data (``fig7``, ``util``) to machine-readable
+output.  The ``trace`` subcommand re-exports the spans stored in a
+saved :class:`~repro.obs.RunReport` as Chrome trace-event JSON
+(openable at https://ui.perfetto.dev) and prints the report's phase
+breakdown.  ``bench-gate`` runs the benchmark scenarios, gates them
+against the append-only performance database and appends the new
+entries when the gate passes (exit 1 on regression).  ``calibrate``
+microbenchmarks this host into a calibration profile and optionally
+checks its cost ratios for drift against the paper references.
 """
 
 from __future__ import annotations
@@ -94,12 +103,166 @@ def _trace_main(argv: list[str]) -> int:
     return 0
 
 
+def _bench_gate_main(argv: list[str]) -> int:
+    """``repro bench-gate``: run scenarios, gate vs the perf database."""
+    import json
+
+    from repro.bench.perfdb import PerfDB, counted_scenario, fig7_scenario, gate
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench-gate",
+        description=(
+            "Run the benchmark scenarios, gate them against the "
+            "append-only performance database, and append the new "
+            "entries when the gate passes."
+        ),
+    )
+    parser.add_argument(
+        "--db",
+        default="BENCH_perf.json",
+        help="performance database path (default: BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="sliding-window size for measured scalars (default: 5)",
+    )
+    parser.add_argument(
+        "--measured-rtol",
+        type=float,
+        default=0.25,
+        help="relative tolerance for measured scalars (default: 0.25)",
+    )
+    parser.add_argument(
+        "--fig7",
+        action="store_true",
+        help="also run the measured Figure 7 throughput scenario",
+    )
+    parser.add_argument(
+        "--key-bits",
+        type=int,
+        default=512,
+        help="key size for the measured scenario (default: 512)",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=48,
+        help="samples for the measured scenario (default: 48)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="append the new entries even when the gate fails",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the gate result as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+
+    entries = [counted_scenario()]
+    if args.fig7:
+        entries.append(fig7_scenario(key_bits=args.key_bits, samples=args.samples))
+    db = PerfDB.load(args.db)
+    result = gate(
+        db, entries, window=args.window, measured_rtol=args.measured_rtol
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=1, sort_keys=True))
+    else:
+        for line in result.lines():
+            print(line)
+    if result.ok or args.force:
+        for entry in entries:
+            db.append(entry)
+        db.save(args.db)
+        print(
+            f"{'appended' if result.ok else 'force-appended'} "
+            f"{len(entries)} entries to {args.db}",
+            # keep --json stdout a single parseable object
+            file=sys.stderr if args.json else sys.stdout,
+        )
+    if not result.ok:
+        print(
+            f"bench gate FAILED: {len(result.failures())} regression(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _calibrate_main(argv: list[str]) -> int:
+    """``repro calibrate``: microbenchmark this host into a profile."""
+    from repro.bench.calibrate import calibrate, check_drift
+
+    parser = argparse.ArgumentParser(
+        prog="repro calibrate",
+        description=(
+            "Microbenchmark this host's crypto unit costs into a "
+            "calibration profile, optionally checking cost-ratio drift "
+            "against the paper references."
+        ),
+    )
+    parser.add_argument(
+        "-o", "--out", default=None, help="write the profile JSON here"
+    )
+    parser.add_argument(
+        "--key-bits", type=int, default=512, help="modulus size (default: 512)"
+    )
+    parser.add_argument(
+        "--samples", type=int, default=24, help="ops per measurement (default: 24)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) when the cost ratios drifted from the paper's",
+    )
+    args = parser.parse_args(argv)
+
+    profile = calibrate(key_bits=args.key_bits, samples=args.samples)
+    for name, value in sorted(profile.unit_costs.items()):
+        print(f"{name}: {value:.3e} s")
+    print(
+        f"packing: x{profile.packing_gain:.2f} per value "
+        f"at width {profile.pack_width}"
+    )
+    if args.out:
+        profile.save(args.out)
+        print(f"wrote {args.out}")
+    if args.check:
+        report = check_drift(profile)
+        for line in report.lines():
+            print(line)
+        if not report.ok:
+            print(
+                f"calibration drift: {len(report.failures())} ratio(s) "
+                "outside tolerance",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+#: experiments with a machine-readable variant (``--json``)
+JSON_EXPERIMENTS: dict[str, object] = {
+    "fig7": lambda: experiments.run_fig7_data(),
+    "util": lambda: experiments.run_resource_utilization()[0],
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point. Returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "bench-gate":
+        return _bench_gate_main(argv[1:])
+    if argv and argv[0] == "calibrate":
+        return _calibrate_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate VF2Boost (SIGMOD 2021) evaluation artifacts.",
@@ -111,6 +274,13 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment names (see 'list'), or 'all'; "
         "or 'trace <report.json>' to export a saved trace",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit structured JSON (supported: "
+        + ", ".join(sorted(JSON_EXPERIMENTS))
+        + "); prints one object keyed by experiment name",
+    )
     args = parser.parse_args(argv)
 
     requested = args.experiments or ["list"]
@@ -120,6 +290,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:<8} {description}")
         print("  all      run every experiment")
         print("  trace    export Chrome trace from a saved run report")
+        print("  bench-gate  run + gate benchmarks vs BENCH_perf.json")
+        print("  calibrate   microbenchmark this host's crypto unit costs")
         return 0
     if "all" in requested:
         requested = list(EXPERIMENTS)
@@ -127,6 +299,20 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+    if args.json:
+        import json
+
+        unsupported = [n for n in requested if n not in JSON_EXPERIMENTS]
+        if unsupported:
+            print(
+                "no JSON output for: " + ", ".join(unsupported)
+                + " (supported: " + ", ".join(sorted(JSON_EXPERIMENTS)) + ")",
+                file=sys.stderr,
+            )
+            return 2
+        data = {name: JSON_EXPERIMENTS[name]() for name in requested}
+        print(json.dumps(data, indent=1, sort_keys=True))
+        return 0
     for name in requested:
         __, runner = EXPERIMENTS[name]
         start = time.perf_counter()

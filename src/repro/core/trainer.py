@@ -30,6 +30,7 @@ counts — that the protocol scheduler prices into simulated time.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -113,6 +114,10 @@ class TrainResult:
             populated in ``"real"`` crypto mode, where ops physically
             execute.  Party ``ACTIVE`` did the Enc/Dec work, passive
             parties the homomorphic accumulation.
+        profile: the trainer's
+            :meth:`~repro.obs.profiler.HotPathProfiler.summary` when a
+            profiler was injected — per-phase/per-op hot-path totals
+            whose counts (summed over parties) equal ``crypto_stats``.
     """
 
     model: FederatedModel
@@ -120,6 +125,7 @@ class TrainResult:
     history: list[EvalRecord]
     channel: RecordingChannel
     crypto_stats: dict[int, "OpStats"] = field(default_factory=dict)
+    profile: dict = field(default_factory=dict)
 
     def run_report(self, label: str = "", config: dict | None = None):
         """Bundle this run as a :class:`~repro.obs.report.RunReport`.
@@ -147,6 +153,7 @@ class TrainResult:
                 str(party): stats.to_dict()
                 for party, stats in sorted(self.crypto_stats.items())
             },
+            profile=dict(self.profile),
         )
 
 
@@ -158,6 +165,13 @@ class FederatedTrainer:
         registry: optional :class:`~repro.obs.metrics.MetricsRegistry`
             that the run's channel and crypto contexts report into
             (``channel.*`` and ``crypto.*`` counters).
+        profiler: optional
+            :class:`~repro.obs.profiler.HotPathProfiler` installed for
+            the duration of :meth:`fit`; the trainer scopes the
+            protocol phases (GradEnc / Histogram / Split / Leaf) so
+            hot-path samples land attributed, and the summary rides on
+            :attr:`TrainResult.profile`.  Only meaningful in ``"real"``
+            crypto mode, where Paillier ops physically execute.
 
     Example:
         >>> config = VF2BoostConfig.vf2boost(crypto_mode="counted")
@@ -165,11 +179,20 @@ class FederatedTrainer:
         >>> result = trainer.fit(party_datasets, labels)
     """
 
-    def __init__(self, config: VF2BoostConfig, registry=None) -> None:
+    def __init__(
+        self, config: VF2BoostConfig, registry=None, profiler=None
+    ) -> None:
         self.config = config
         self.registry = registry
+        self.profiler = profiler
         self.loss: Loss = get_loss(config.params.objective)
         self._real = config.crypto_mode == "real"
+
+    def _phase(self, name: str):
+        """Profiler phase scope for a protocol section (no-op without)."""
+        if self.profiler is None:
+            return nullcontext()
+        return self.profiler.phase_scope(name)
 
     # ------------------------------------------------------------------
     # Public API
@@ -191,6 +214,22 @@ class FederatedTrainer:
             valid_party_codes: optional per-party validation bin codes.
             valid_labels: labels for the validation set.
         """
+        if self.profiler is None:
+            return self._fit(
+                party_datasets, labels, valid_party_codes, valid_labels
+            )
+        with self.profiler:
+            return self._fit(
+                party_datasets, labels, valid_party_codes, valid_labels
+            )
+
+    def _fit(
+        self,
+        party_datasets: list[BinnedDataset],
+        labels: np.ndarray,
+        valid_party_codes: dict[int, np.ndarray] | None = None,
+        valid_labels: np.ndarray | None = None,
+    ) -> TrainResult:
         labels = np.asarray(labels, dtype=np.float64)
         n = party_datasets[0].n_instances
         for dataset in party_datasets:
@@ -274,6 +313,7 @@ class FederatedTrainer:
             history=history,
             channel=channel,
             crypto_stats=crypto_stats,
+            profile=self.profiler.summary() if self.profiler else {},
         )
 
     # ------------------------------------------------------------------
@@ -298,28 +338,29 @@ class FederatedTrainer:
         hess_ciphers: list | None = None
         pair_codec: GradHessCodec | None = None
         n_exponents = self.config.exponent_jitter
-        if self._real:
-            if self.config.pair_packing:
-                # Extension: one cipher per instance carrying (g, h, 1).
-                pair_codec = GradHessCodec(
-                    context, self.loss.gradient_bound, max_count=n
-                )
-                self._pair_codec = pair_codec
-                grad_ciphers = [
-                    pair_codec.encrypt_pair(float(g), float(h))
-                    for g, h in zip(gradients, hessians)
-                ]
+        with self._phase("GradEnc"):
+            if self._real:
+                if self.config.pair_packing:
+                    # Extension: one cipher per instance carrying (g, h, 1).
+                    pair_codec = GradHessCodec(
+                        context, self.loss.gradient_bound, max_count=n
+                    )
+                    self._pair_codec = pair_codec
+                    grad_ciphers = [
+                        pair_codec.encrypt_pair(float(g), float(h))
+                        for g, h in zip(gradients, hessians)
+                    ]
+                    n_exponents = 1
+                else:
+                    grad_ciphers = [context.encrypt(float(g)) for g in gradients]
+                    hess_ciphers = [context.encrypt(float(h)) for h in hessians]
+                    n_exponents = len(
+                        {c.exponent for c in grad_ciphers}
+                        | {c.exponent for c in hess_ciphers}
+                    )
+            elif self.config.pair_packing:
                 n_exponents = 1
-            else:
-                grad_ciphers = [context.encrypt(float(g)) for g in gradients]
-                hess_ciphers = [context.encrypt(float(h)) for h in hessians]
-                n_exponents = len(
-                    {c.exponent for c in grad_ciphers}
-                    | {c.exponent for c in hess_ciphers}
-                )
-        elif self.config.pair_packing:
-            n_exponents = 1
-        self._ship_gradients(channel, n, n_passive, grad_ciphers, hess_ciphers)
+            self._ship_gradients(channel, n, n_passive, grad_ciphers, hess_ciphers)
 
         tree = DecisionTree()
         tree_trace = TreeTrace(
@@ -333,84 +374,87 @@ class FederatedTrainer:
             layer = LayerTrace(depth=depth)
             next_frontier: list[int] = []
             # Each party builds this layer's histograms for its columns.
-            active_hists = {
-                node_id: build_histogram(
-                    party_datasets[ACTIVE], node_rows[node_id], gradients, hessians
-                )
-                for node_id in frontier
-            }
-            passive_hists = self._passive_histograms(
-                party_datasets,
-                frontier,
-                node_rows,
-                gradients,
-                hessians,
-                grad_ciphers,
-                hess_ciphers,
-                channel,
-                context,
-                public_contexts,
-            )
-            for node_id in frontier:
-                rows = node_rows[node_id]
-                node_trace = NodeTrace(node_id=node_id, n_instances=int(rows.size))
-                best_owner, best, active_candidate = self._global_best_split(
-                    active_hists[node_id],
-                    {p: passive_hists[p][node_id] for p in range(1, n_passive + 1)},
-                    int(rows.size),
-                )
-                if best is None:
-                    layer.nodes.append(node_trace)
-                    continue
-                node_trace.owner = best_owner
-                # Dirty under the optimistic strategy: B split ahead with
-                # its own candidate but a passive party's was better.
-                node_trace.dirty = best_owner != ACTIVE
-                if node_trace.dirty:
-                    node_trace.misplaced_fraction = self._misplaced_fraction(
-                        party_datasets, rows, best_owner, best, active_candidate
+            with self._phase("Histogram"):
+                active_hists = {
+                    node_id: build_histogram(
+                        party_datasets[ACTIVE], node_rows[node_id], gradients, hessians
                     )
-                layer.nodes.append(node_trace)
-
-                left_rows, right_rows = self._materialize_split(
-                    node_id,
-                    best_owner,
-                    best,
-                    rows,
+                    for node_id in frontier
+                }
+                passive_hists = self._passive_histograms(
                     party_datasets,
-                    tree,
+                    frontier,
+                    node_rows,
+                    gradients,
+                    hessians,
+                    grad_ciphers,
+                    hess_ciphers,
                     channel,
-                    n_passive,
+                    context,
+                    public_contexts,
                 )
-                node_rows[tree.nodes[node_id].left_child] = left_rows
-                node_rows[tree.nodes[node_id].right_child] = right_rows
-                next_frontier.extend(
-                    [tree.nodes[node_id].left_child, tree.nodes[node_id].right_child]
-                )
+            with self._phase("Split"):
+                for node_id in frontier:
+                    rows = node_rows[node_id]
+                    node_trace = NodeTrace(node_id=node_id, n_instances=int(rows.size))
+                    best_owner, best, active_candidate = self._global_best_split(
+                        active_hists[node_id],
+                        {p: passive_hists[p][node_id] for p in range(1, n_passive + 1)},
+                        int(rows.size),
+                    )
+                    if best is None:
+                        layer.nodes.append(node_trace)
+                        continue
+                    node_trace.owner = best_owner
+                    # Dirty under the optimistic strategy: B split ahead with
+                    # its own candidate but a passive party's was better.
+                    node_trace.dirty = best_owner != ACTIVE
+                    if node_trace.dirty:
+                        node_trace.misplaced_fraction = self._misplaced_fraction(
+                            party_datasets, rows, best_owner, best, active_candidate
+                        )
+                    layer.nodes.append(node_trace)
+
+                    left_rows, right_rows = self._materialize_split(
+                        node_id,
+                        best_owner,
+                        best,
+                        rows,
+                        party_datasets,
+                        tree,
+                        channel,
+                        n_passive,
+                    )
+                    node_rows[tree.nodes[node_id].left_child] = left_rows
+                    node_rows[tree.nodes[node_id].right_child] = right_rows
+                    next_frontier.extend(
+                        [tree.nodes[node_id].left_child, tree.nodes[node_id].right_child]
+                    )
             tree_trace.layers.append(layer)
             frontier = next_frontier
             if not frontier:
                 break
 
         # Leaf weights (Equation 1), computed by B and broadcast.
-        weights: dict[int, float] = {}
-        for node in tree.nodes.values():
-            if node.is_leaf:
-                rows = node_rows.get(node.node_id, np.empty(0, dtype=np.int64))
-                if rows.size == 0:
-                    tree.set_leaf_weight(node.node_id, 0.0)
-                    continue
-                weight = leaf_weight(
-                    float(gradients[rows].sum()),
-                    float(hessians[rows].sum()),
-                    params.reg_lambda,
-                )
-                tree.set_leaf_weight(node.node_id, weight)
-                weights[node.node_id] = weight
-        for p in range(1, n_passive + 1):
-            # Declared disclosure: leaf weights are part of the published
-            # model (every party needs them for inference, §3.3).
-            channel.send(LeafWeightBroadcast(ACTIVE, p, weights=weights))  # repro: allow[PB001]
+        with self._phase("Leaf"):
+            weights: dict[int, float] = {}
+            for node in tree.nodes.values():
+                if node.is_leaf:
+                    rows = node_rows.get(node.node_id, np.empty(0, dtype=np.int64))
+                    if rows.size == 0:
+                        tree.set_leaf_weight(node.node_id, 0.0)
+                        continue
+                    weight = leaf_weight(
+                        float(gradients[rows].sum()),
+                        float(hessians[rows].sum()),
+                        params.reg_lambda,
+                    )
+                    tree.set_leaf_weight(node.node_id, weight)
+                    weights[node.node_id] = weight
+            for p in range(1, n_passive + 1):
+                # Declared disclosure: leaf weights are part of the published
+                # model (every party needs them for inference, §3.3).
+                channel.send(LeafWeightBroadcast(ACTIVE, p, weights=weights))  # repro: allow[PB001]
         return tree, tree_trace
 
     # ------------------------------------------------------------------

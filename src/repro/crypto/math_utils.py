@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 import secrets
+from collections.abc import Callable
 
 __all__ = [
     "is_probable_prime",
@@ -21,6 +22,7 @@ __all__ = [
     "powmod",
     "random_below",
     "random_coprime",
+    "set_powmod_observer",
 ]
 
 # Small primes used to cheaply reject composite candidates before the
@@ -32,12 +34,35 @@ _SMALL_PRIMES = (
 )
 
 
+#: optional zero-argument callback fired on every :func:`powmod` call;
+#: the hot-path profiler attributes these to the enclosing cipher op
+_POWMOD_OBSERVER: Callable[[], None] | None = None
+
+
+def set_powmod_observer(
+    observer: Callable[[], None] | None,
+) -> Callable[[], None] | None:
+    """Install (or clear, with ``None``) the powmod observer.
+
+    Returns the previously installed observer so callers can restore it
+    — the contract :class:`repro.obs.profiler.HotPathProfiler` relies
+    on for nested install/uninstall.
+    """
+    global _POWMOD_OBSERVER
+    previous = _POWMOD_OBSERVER
+    _POWMOD_OBSERVER = observer
+    return previous
+
+
 def powmod(base: int, exponent: int, modulus: int) -> int:
     """Modular exponentiation ``base ** exponent mod modulus``.
 
     Thin wrapper over the built-in three-argument ``pow`` so that the
-    cost model can monkeypatch / count calls at a single choke point.
+    cost model and profiler can monkeypatch / observe calls at a single
+    choke point (see :func:`set_powmod_observer`).
     """
+    if _POWMOD_OBSERVER is not None:
+        _POWMOD_OBSERVER()
     return pow(base, exponent, modulus)
 
 

@@ -22,6 +22,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     global_registry,
 )
+from repro.obs.profiler import HotPathProfiler
 from repro.obs.report import RunReport, channel_report
 from repro.obs.trace_export import (
     chrome_trace,
@@ -34,6 +35,7 @@ from repro.obs.tracer import Span, Tracer, spans_from_tasks
 __all__ = [
     "COUNT_BUCKETS",
     "Histogram",
+    "HotPathProfiler",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
     "RunReport",

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "COUNT_BUCKETS",
+    "DEFAULT_MAX_SAMPLES",
     "Histogram",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
@@ -35,24 +36,45 @@ LATENCY_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
 COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
+#: default retained-sample cap; high enough that every test/bench
+#: workload in this repository stays below it (quantiles stay exact)
+DEFAULT_MAX_SAMPLES = 65_536
+
+
 @dataclass
 class Histogram:
-    """Fixed-bucket histogram with exact quantiles.
+    """Fixed-bucket histogram with exact quantiles up to a sample cap.
 
     Attributes:
         bounds: ascending bucket upper bounds; one implicit overflow
             bucket sits above the last bound.
+        max_samples: retained-sample bound.  Below it every sample is
+            kept and quantiles are exact.  At the cap the retained list
+            is decimated deterministically (every other retained sample
+            is dropped and the keep-stride doubles), so memory stays
+            bounded under sustained serve load while quantiles degrade
+            to a uniform 1-in-stride subsample.  ``count``, ``mean``
+            and ``max`` are tracked exactly forever, and the whole
+            scheme is a pure function of the observation sequence —
+            bit-repeatable, per the repository's determinism contract.
     """
 
     bounds: tuple[float, ...] = LATENCY_BUCKETS
     counts: list[int] = field(default_factory=list)
     samples: list[float] = field(default_factory=list)
+    max_samples: int = DEFAULT_MAX_SAMPLES
 
     def __post_init__(self) -> None:
         if list(self.bounds) != sorted(self.bounds):
             raise ValueError("bucket bounds must be ascending")
+        if self.max_samples < 2:
+            raise ValueError("max_samples must be at least 2")
         if not self.counts:
             self.counts = [0] * (len(self.bounds) + 1)
+        self._stride = 1
+        self._observed = len(self.samples)
+        self._sum = float(sum(self.samples))
+        self._max = max(self.samples) if self.samples else 0.0
 
     def observe(self, value: float) -> None:
         """Record one sample."""
@@ -62,21 +84,43 @@ class Histogram:
                 bucket = k
                 break
         self.counts[bucket] += 1
-        self.samples.append(float(value))
+        value = float(value)
+        index = self._observed
+        self._observed += 1
+        self._sum += value
+        if index == 0 or value > self._max:
+            self._max = value
+        if index % self._stride == 0:
+            self.samples.append(value)
+            if len(self.samples) >= self.max_samples:
+                # Keep arrivals with index % (2 * stride) == 0: the
+                # even positions of the retained list, in order.
+                self.samples = self.samples[::2]
+                self._stride *= 2
 
     @property
     def count(self) -> int:
-        """Number of recorded samples."""
-        return len(self.samples)
+        """Number of observed samples (exact, unaffected by the cap)."""
+        return self._observed
+
+    @property
+    def stride(self) -> int:
+        """Current keep-stride (1 = every sample retained, exact)."""
+        return self._stride
 
     def mean(self) -> float:
-        """Arithmetic mean (0.0 when empty)."""
-        if not self.samples:
+        """Arithmetic mean over all observations (0.0 when empty)."""
+        if not self._observed:
             return 0.0
-        return sum(self.samples) / len(self.samples)
+        return self._sum / self._observed
 
     def quantile(self, q: float) -> float:
-        """Exact q-quantile via the nearest-rank method (0.0 when empty)."""
+        """Nearest-rank q-quantile over the retained samples.
+
+        Exact while fewer than ``max_samples`` values have been
+        observed; a deterministic uniform subsample beyond that.
+        Returns 0.0 when empty.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         if not self.samples:
@@ -93,7 +137,7 @@ class Histogram:
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
-            "max": max(self.samples) if self.samples else 0.0,
+            "max": self._max if self._observed else 0.0,
             "buckets": {
                 **{f"le_{bound:g}": self.counts[k] for k, bound in enumerate(self.bounds)},
                 "overflow": self.counts[-1],

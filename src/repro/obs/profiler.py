@@ -1,0 +1,275 @@
+"""Deterministic hot-path profiler for the real Paillier choke points.
+
+Every physically executed crypto operation funnels through two narrow
+necks: the :class:`~repro.crypto.ciphertext.PaillierContext` op methods
+(one per priced unit cost of §5 — Enc/Dec/HAdd/Scale/SMul/PAdd) and the
+single ``powmod`` wrapper in :mod:`repro.crypto.math_utils` that every
+modular exponentiation goes through.  The :class:`HotPathProfiler`
+instruments both while installed and attributes each sample to
+``(phase, op)`` — *phase* is a protocol label the caller scopes
+(``"GradEnc"``, ``"Histogram"``, ...), *op* the unit-cost name.
+
+Determinism contract: the profiler never reads a clock itself.  With no
+``timer`` injected it runs in counts-only mode — op and powmod counts
+are exact, seeded-deterministic integers that must equal the context's
+own :class:`~repro.crypto.ciphertext.OpStats` (the golden op-count
+guard extends to profiler output).  Injecting a ``timer`` callable adds
+per-op *self* seconds (child op time is subtracted, so summing over ops
+never double-counts nested calls such as the scale inside an aligned
+HAdd); real runs inject ``time.perf_counter`` at their own call site,
+tests inject a fake monotonic counter.
+
+Only one profiler can be installed at a time; installation patches
+class attributes process-wide and is reversed exactly by
+:meth:`HotPathProfiler.uninstall` (or the context-manager protocol).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["HotPathProfiler", "OP_METHODS"]
+
+#: PaillierContext method -> unit-cost op name; mirrors exactly the
+#: methods that bump OpStats (``decrypt`` delegates to
+#: ``decrypt_encoded`` and is deliberately absent — patching it too
+#: would double-count).
+OP_METHODS: dict[str, str] = {
+    "encrypt": "enc",
+    "encrypt_encoded": "enc",
+    "decrypt_encoded": "dec",
+    "decrypt_raw": "dec",
+    "add": "hadd",
+    "scale_to": "scale",
+    "multiply": "smul",
+    "multiply_raw": "smul",
+    "add_plain": "padd",
+    "add_plain_raw": "padd",
+}
+
+#: label for powmods observed outside any patched op (keygen,
+#: obfuscator precompute) and for samples taken before a phase is set
+OTHER = "other"
+UNPHASED = "unphased"
+
+#: the at-most-one installed profiler (class patching is process-wide)
+_ACTIVE: list["HotPathProfiler | None"] = [None]
+
+
+@dataclass
+class _OpRecord:
+    """Accumulated samples of one ``(phase, op)`` cell."""
+
+    count: int = 0
+    seconds: float = 0.0
+    powmods: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "seconds": self.seconds,
+            "powmods": self.powmods,
+        }
+
+
+class HotPathProfiler:
+    """Attribute crypto hot-path work to protocol phase and op.
+
+    Args:
+        timer: optional zero-argument callable returning seconds.
+            ``None`` (the default) keeps the profiler fully
+            deterministic: counts only, all durations zero.  Callers
+            outside the simulation scope may inject
+            ``time.perf_counter`` for real self-time attribution.
+
+    Use as a context manager (install on enter, uninstall on exit);
+    records survive uninstall so :meth:`summary` can run afterwards.
+    """
+
+    def __init__(self, timer: Callable[[], float] | None = None) -> None:
+        self._timer = timer
+        self.phase: str = ""
+        self._records: dict[tuple[str, str], _OpRecord] = {}
+        #: open wrapper frames: [record, start_seconds, child_seconds]
+        self._frames: list[list] = []
+        self._installed = False
+        self._saved_methods: dict[str, object] = {}
+        self._saved_observer: Callable[[], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Install / uninstall
+    # ------------------------------------------------------------------
+    def install(self) -> "HotPathProfiler":
+        """Patch the choke points; returns self. At most one at a time."""
+        if self._installed:
+            raise RuntimeError("profiler is already installed")
+        if _ACTIVE[0] is not None:
+            raise RuntimeError("another HotPathProfiler is already installed")
+        # Imported lazily: obs modules stay import-free of the rest of
+        # the package (ciphertext itself imports repro.obs.metrics).
+        from repro.crypto import math_utils
+        from repro.crypto.ciphertext import PaillierContext
+
+        for method_name, op in sorted(OP_METHODS.items()):
+            original = getattr(PaillierContext, method_name)
+            self._saved_methods[method_name] = original
+            setattr(
+                PaillierContext,
+                method_name,
+                self._wrap(original, method_name, op),
+            )
+        self._saved_observer = math_utils.set_powmod_observer(self._on_powmod)
+        _ACTIVE[0] = self
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the patched methods and the powmod observer."""
+        if not self._installed:
+            return
+        from repro.crypto import math_utils
+        from repro.crypto.ciphertext import PaillierContext
+
+        for method_name, original in sorted(self._saved_methods.items()):
+            setattr(PaillierContext, method_name, original)
+        self._saved_methods.clear()
+        math_utils.set_powmod_observer(self._saved_observer)
+        self._saved_observer = None
+        _ACTIVE[0] = None
+        self._installed = False
+
+    def __enter__(self) -> "HotPathProfiler":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------------
+    # Phase scoping
+    # ------------------------------------------------------------------
+    def set_phase(self, name: str) -> None:
+        """Attribute subsequent samples to protocol phase ``name``."""
+        self.phase = name
+
+    @contextmanager
+    def phase_scope(self, name: str) -> Iterator[None]:
+        """Scope the phase label over a block, restoring the previous."""
+        previous = self.phase
+        self.phase = name
+        try:
+            yield
+        finally:
+            self.phase = previous
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _record(self, phase: str, op: str) -> _OpRecord:
+        key = (phase or UNPHASED, op)
+        record = self._records.get(key)
+        if record is None:
+            record = self._records[key] = _OpRecord()
+        return record
+
+    def _on_powmod(self) -> None:
+        if self._frames:
+            self._frames[-1][0].powmods += 1
+        else:
+            self._record(self.phase, OTHER).powmods += 1
+
+    def _wrap(self, method, method_name: str, op: str):
+        profiler = self
+
+        def wrapper(context, *args, **kwargs):
+            if method_name == "scale_to":
+                # Mirror OpStats: a same-exponent scale_to is a no-op
+                # and is not counted as a scaling.
+                number = kwargs.get("number", args[0] if args else None)
+                exponent = kwargs.get(
+                    "exponent", args[1] if len(args) > 1 else None
+                )
+                if number is not None and exponent == number.exponent:
+                    return method(context, *args, **kwargs)
+            record = profiler._record(profiler.phase, op)
+            timer = profiler._timer
+            start = timer() if timer is not None else 0.0
+            frame = [record, start, 0.0]
+            profiler._frames.append(frame)
+            try:
+                return method(context, *args, **kwargs)
+            finally:
+                profiler._frames.pop()
+                elapsed = (timer() - start) if timer is not None else 0.0
+                record.count += 1
+                # Self time: subtract nested patched-op time so op
+                # totals sum without double counting.
+                record.seconds += max(0.0, elapsed - frame[2])
+                if profiler._frames:
+                    profiler._frames[-1][2] += elapsed
+
+        wrapper.__name__ = method_name
+        wrapper.__doc__ = getattr(method, "__doc__", None)
+        wrapper.__wrapped__ = method
+        return wrapper
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    @property
+    def timed(self) -> bool:
+        """Whether a timer was injected (durations are meaningful)."""
+        return self._timer is not None
+
+    def reset(self) -> None:
+        """Drop all accumulated records (keeps the installation state)."""
+        self._records.clear()
+
+    def summary(self) -> dict:
+        """JSON-ready per-op and per-phase totals.
+
+        Shape: ``{"timed": bool, "ops": {op: {count, seconds,
+        powmods}}, "phases": {phase: {op: {...}}}}``.  In counts-only
+        mode all ``seconds`` are 0.0 and the counts are exact.
+        """
+        ops: dict[str, dict] = {}
+        phases: dict[str, dict] = {}
+        for (phase, op), record in sorted(self._records.items()):
+            entry = record.to_dict()
+            aggregate = ops.setdefault(
+                op, {"count": 0, "seconds": 0.0, "powmods": 0}
+            )
+            for key, value in entry.items():
+                aggregate[key] += value
+            phases.setdefault(phase, {})[op] = entry
+        return {"timed": self.timed, "ops": ops, "phases": phases}
+
+    def merge_into(
+        self,
+        tracer,
+        offset: float | None = None,
+        track: str = "profiler",
+    ) -> list:
+        """Lay one span per ``(phase, op)`` cell onto a Tracer.
+
+        Spans are laid end to end starting at ``offset`` (the tracer's
+        current makespan when omitted), category = phase, duration =
+        the cell's self seconds (zero-length in counts-only mode), with
+        ``count``/``powmods`` attached as span args.  Returns the spans.
+        """
+        cursor = tracer.makespan if offset is None else offset
+        spans = []
+        for (phase, op), record in sorted(self._records.items()):
+            span = tracer.add(
+                f"{phase}.{op}",
+                cursor,
+                cursor + record.seconds,
+                category=phase,
+                track=track,
+                count=record.count,
+                powmods=record.powmods,
+            )
+            cursor = span.end
+            spans.append(span)
+        return spans

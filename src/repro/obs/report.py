@@ -25,8 +25,11 @@ from repro.obs.trace_export import write_chrome_trace
 
 __all__ = ["RunReport", "channel_report"]
 
-#: schema version for saved report files
-REPORT_VERSION = 1
+#: schema version for saved report files; version 2 added the
+#: ``profile`` (hot-path profiler summary) and ``artifacts`` (paths of
+#: sidecar files such as SLO event logs) fields — both optional with
+#: empty defaults, so version-1 files load unchanged.
+REPORT_VERSION = 2
 
 
 def channel_report(channel) -> dict:
@@ -74,6 +77,11 @@ class RunReport:
         makespan: end-to-end seconds (simulated or wall).
         spans: serialized spans (:meth:`Span.to_dict`); lets
             ``repro trace`` regenerate the Chrome trace offline.
+        profile: a :meth:`~repro.obs.profiler.HotPathProfiler.summary`
+            (per-op / per-phase crypto hot-path totals), when the run
+            was profiled.
+        artifacts: sidecar file paths keyed by kind (e.g. the serve
+            SLO watcher's JSONL event log under ``"events"``).
     """
 
     kind: str
@@ -85,6 +93,8 @@ class RunReport:
     parties: dict = field(default_factory=dict)
     makespan: float = 0.0
     spans: list = field(default_factory=list)
+    profile: dict = field(default_factory=dict)
+    artifacts: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-ready representation (includes the schema version)."""

@@ -15,6 +15,8 @@ FederatedPredictor` protocol into a latency-aware serving runtime:
   and majority-direction degraded routing.
 * :mod:`repro.serve.metrics` — counters, latency/occupancy histograms,
   per-1k-prediction wire accounting, JSON snapshots.
+* :mod:`repro.serve.slo` — sliding-window p99 + error-budget burn
+  watcher with a structured (JSONL) event log.
 * :mod:`repro.serve.loadgen` / :mod:`repro.serve.bench` — seeded
   open/closed-loop load generation and the naive-vs-batched benchmark
   (``python -m repro.serve.bench``).
@@ -42,6 +44,7 @@ from repro.serve.session import (
     ServeConfig,
     ServingRuntime,
 )
+from repro.serve.slo import SLOPolicy, SLOWatcher
 
 __all__ = [
     "MicroBatcher",
@@ -60,6 +63,8 @@ __all__ = [
     "majority_directions",
     "Prediction",
     "Request",
+    "SLOPolicy",
+    "SLOWatcher",
     "ServeConfig",
     "ServingRuntime",
 ]

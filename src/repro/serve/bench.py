@@ -52,6 +52,7 @@ from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import ModelRegistry
 from repro.serve.resilience import RetryPolicy
 from repro.serve.session import ServeConfig, ServingRuntime
+from repro.serve.slo import SLOPolicy, SLOWatcher
 
 __all__ = ["run_bench", "main"]
 
@@ -149,6 +150,7 @@ def run_bench(
     seed: int = 7,
     trace_out: str | None = None,
     report_out: str | None = None,
+    events_out: str | None = None,
 ) -> dict:
     """Run all three scenarios; returns the JSON-ready report.
 
@@ -158,6 +160,9 @@ def run_bench(
         report_out: also write a :class:`~repro.obs.RunReport` whose
             phase totals equal the trace's per-category duration sums
             and whose metrics come from the shared registry.
+        events_out: also write the SLO watchers' structured event logs
+            (timeouts, degraded routing, burn alerts) as JSONL; the
+            path lands in the RunReport under ``artifacts["events"]``.
     """
     if smoke:
         params = GBDTParams(n_trees=3, n_layers=4, n_bins=8)
@@ -191,6 +196,9 @@ def run_bench(
     # counters, channel traffic and the span trace all land here.
     obs_registry = MetricsRegistry()
     tracer = Tracer()
+    slo = SLOWatcher(
+        SLOPolicy(), registry=obs_registry, labels={"scenario": "batched"}
+    )
     runtime = ServingRuntime(
         registry,
         cluster=cluster,
@@ -200,6 +208,7 @@ def run_bench(
         ),
         metrics=ServeMetrics(obs_registry),
         tracer=tracer,
+        slo=slo,
     )
     completions = run_closed_loop(runtime, requests, concurrency)
     snapshot = runtime.snapshot()
@@ -249,12 +258,16 @@ def run_bench(
         slow_probability=0.45,
         slow_delay=1.0,
     )
+    degraded_slo = SLOWatcher(
+        SLOPolicy(), registry=obs_registry, labels={"scenario": "degraded"}
+    )
     degraded_runtime = ServingRuntime(
         registry,
         cluster=cluster,
         config=serve_config,
         retry=RetryPolicy(timeout=0.25, max_retries=2),
         party_delay=make_party_delay(degraded_load),
+        slo=degraded_slo,
     )
     run_closed_loop(
         degraded_runtime, make_requests(degraded_load), degraded_load.concurrency
@@ -306,8 +319,15 @@ def run_bench(
             "timeouts": degraded_snapshot["counters"].get("timeouts", 0),
             "retries": degraded_snapshot["counters"].get("retries", 0),
             "degraded_rate": degraded_snapshot["rates"]["degraded_rate"],
+            "slo": degraded_slo.summary(),
         },
+        "slo": slo.summary(),
     }
+
+    if events_out:
+        n_events = slo.write_jsonl(events_out)
+        n_events += degraded_slo.write_jsonl(events_out, append=True)
+        report["events_written"] = n_events
 
     if trace_out or report_out:
         run_report = RunReport(
@@ -319,6 +339,7 @@ def run_bench(
             channels=channel_report(runtime.channel),
             makespan=tracer.makespan,
             spans=[span.to_dict() for span in tracer.spans],
+            artifacts={"events": events_out} if events_out else {},
         )
         if trace_out:
             write_chrome_trace(trace_out, tracer.spans)
@@ -352,6 +373,11 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write a RunReport JSON (metrics + phases + spans)",
     )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        help="write the SLO watchers' structured event log as JSONL",
+    )
     parser.add_argument("--requests", type=int, default=None)
     parser.add_argument("--concurrency", type=int, default=None)
     parser.add_argument("--seed", type=int, default=7)
@@ -364,6 +390,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         trace_out=args.trace_out,
         report_out=args.report_out,
+        events_out=args.events_out,
     )
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=1)
@@ -374,6 +401,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.trace_out} (open at https://ui.perfetto.dev)")
     if args.report_out:
         print(f"wrote {args.report_out}")
+    if args.events_out:
+        print(f"wrote {args.events_out} ({report['events_written']} events)")
     print(
         "round trips/1k: naive "
         f"{report['naive']['round_trips_per_1k']:.1f} -> batched "

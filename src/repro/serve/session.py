@@ -200,6 +200,9 @@ class ServingRuntime:
         tracer: optional :class:`~repro.obs.tracer.Tracer` collecting
             admission / request / round-trip spans on the simulated
             clock (exportable as a Chrome trace).
+        slo: optional :class:`~repro.serve.slo.SLOWatcher`; fed every
+            completion (including rejections) and every batch timeout
+            on the simulated clock.
     """
 
     def __init__(
@@ -212,6 +215,7 @@ class ServingRuntime:
         metrics: ServeMetrics | None = None,
         party_delay: Callable[[int, int, int], float] | None = None,
         tracer: Tracer | None = None,
+        slo=None,
     ) -> None:
         self.registry = registry
         self.cluster = cluster or ClusterSpec()
@@ -223,6 +227,7 @@ class ServingRuntime:
         self.metrics = metrics or ServeMetrics()
         self.party_delay = party_delay
         self.tracer = tracer
+        self.slo = slo
         self.batcher = MicroBatcher(
             self.config.max_batch_size, self.config.max_delay
         )
@@ -291,6 +296,8 @@ class ServingRuntime:
                 rejected=True,
             )
             self.completed.append(outcome)
+            if self.slo is not None:
+                self.slo.on_completion(outcome, now)
             if self._on_complete is not None:
                 self._on_complete(outcome)
             return
@@ -525,6 +532,14 @@ class ServingRuntime:
     def _timeout(self, record: _InFlight, now: float) -> None:
         self.metrics.inc("timeouts")
         self._party_health(record.party).record_timeout()
+        if self.slo is not None:
+            self.slo.on_timeout(
+                record.party,
+                record.batch_id,
+                record.attempt,
+                now,
+                exhausted=record.attempt > self.retry.max_retries,
+            )
         if record.attempt <= self.retry.max_retries:
             retry = _InFlight(
                 party=record.party,
@@ -624,6 +639,8 @@ class ServingRuntime:
             deadline_missed=missed,
         )
         self.completed.append(outcome)
+        if self.slo is not None:
+            self.slo.on_completion(outcome, now)
         if self._on_complete is not None:
             self._on_complete(outcome)
 

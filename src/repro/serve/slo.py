@@ -1,0 +1,218 @@
+"""Serving SLO watcher: sliding-window p99 and error-budget burn.
+
+Watches a :class:`~repro.serve.session.ServingRuntime`'s completion
+stream on the *simulated* clock (every timestamp is passed in, never
+read from a wall clock — the watcher is as deterministic as the event
+loop it observes).  Over a sliding window of recent completions it
+tracks the p99 latency and the **burn rate**: the fraction of the
+window that breached the latency SLO, divided by the error budget.  A
+burn rate of 1.0 means the service is consuming its budget exactly as
+fast as it is allowed to; sustained values above the alert threshold
+open a ``burn_alert`` episode, closed when the rate drops back.
+
+Every noteworthy transition — timeouts, degraded routing after an
+exhausted retry budget, rejected admissions, degraded completions,
+burn-alert open/close — is appended to a structured event list with
+stable key order, exportable as JSONL (:meth:`SLOWatcher.write_jsonl`)
+and referenced from the serve bench's :class:`~repro.obs.RunReport`
+under ``artifacts["events"]``.
+
+The watcher also publishes ``serve.slo.*`` gauges and counters into a
+shared :class:`~repro.obs.metrics.MetricsRegistry` when given one, so
+SLO posture lands in the same snapshot as the runtime's own counters.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["SLOPolicy", "SLOWatcher"]
+
+_PREFIX = "serve.slo."
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """The service-level objective being watched.
+
+    Attributes:
+        latency_slo: per-request latency objective in simulated
+            seconds; a completion above it is a breach.
+        window: completions per sliding window (p99 and burn rate are
+            computed over the most recent this-many completions).
+        error_budget: allowed breach fraction (0.01 = 1% of requests
+            may breach before the budget burns at rate 1.0).
+        burn_alert: burn rate at or above which an alert episode opens.
+    """
+
+    latency_slo: float = 0.5
+    window: int = 64
+    error_budget: float = 0.01
+    burn_alert: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < self.error_budget <= 1.0:
+            raise ValueError("error_budget must be in (0, 1]")
+
+    def to_dict(self) -> dict:
+        return {
+            "latency_slo": self.latency_slo,
+            "window": self.window,
+            "error_budget": self.error_budget,
+            "burn_alert": self.burn_alert,
+        }
+
+
+class SLOWatcher:
+    """Observe completions and timeouts; judge them against a policy.
+
+    Args:
+        policy: the SLO being watched (defaults are serving-bench
+            scaled: 500 ms objective, 64-completion window, 1% budget).
+        registry: optional shared
+            :class:`~repro.obs.metrics.MetricsRegistry`; when given,
+            the watcher publishes ``serve.slo.p99`` /
+            ``serve.slo.burn_rate`` gauges and bumps
+            ``serve.slo.<event>`` counters there.
+        labels: constant key/values merged into every event (scenario
+            tags in multi-runtime benches).
+    """
+
+    def __init__(
+        self,
+        policy: SLOPolicy | None = None,
+        registry=None,
+        labels: dict | None = None,
+    ) -> None:
+        self.policy = policy or SLOPolicy()
+        self.registry = registry
+        self.labels = dict(labels or {})
+        #: (latency, breached) of the most recent completions
+        self._window: deque = deque(maxlen=self.policy.window)
+        self.events: list[dict] = []
+        self.completions = 0
+        self.breaches = 0
+        self.alert_open = False
+        self.alerts = 0
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _emit(self, event: str, now: float, **fields) -> None:
+        record = {"event": event, "time": now}
+        record.update(self.labels)
+        record.update(fields)
+        self.events.append(record)
+        if self.registry is not None:
+            self.registry.inc(_PREFIX + event)
+
+    def _publish_gauges(self) -> None:
+        if self.registry is not None:
+            self.registry.set_gauge(_PREFIX + "p99", self.window_p99())
+            self.registry.set_gauge(_PREFIX + "burn_rate", self.burn_rate())
+
+    # ------------------------------------------------------------------
+    # Feed
+    # ------------------------------------------------------------------
+    def on_completion(self, outcome, now: float) -> None:
+        """Ingest one finished request (a ``Prediction``-like object)."""
+        if getattr(outcome, "rejected", False):
+            self._emit("rejected", now, request_id=outcome.request_id)
+            return
+        latency = outcome.latency
+        breached = latency > self.policy.latency_slo
+        self.completions += 1
+        if breached:
+            self.breaches += 1
+        self._window.append((latency, breached))
+        if getattr(outcome, "degraded", False):
+            self._emit(
+                "degraded",
+                now,
+                request_id=outcome.request_id,
+                rows=int(outcome.degraded_rows.sum()),
+            )
+        burn = self.burn_rate()
+        if burn >= self.policy.burn_alert and not self.alert_open:
+            self.alert_open = True
+            self.alerts += 1
+            self._emit(
+                "burn_alert_start", now, burn_rate=burn, p99=self.window_p99()
+            )
+        elif burn < self.policy.burn_alert and self.alert_open:
+            self.alert_open = False
+            self._emit("burn_alert_end", now, burn_rate=burn)
+        self._publish_gauges()
+
+    def on_timeout(
+        self,
+        party: int,
+        batch_id: int,
+        attempt: int,
+        now: float,
+        exhausted: bool = False,
+    ) -> None:
+        """Ingest one batch timeout (``exhausted`` = budget spent)."""
+        self._emit(
+            "timeout", now, party=party, batch_id=batch_id, attempt=attempt
+        )
+        if exhausted:
+            self._emit(
+                "degraded_route", now, party=party, batch_id=batch_id
+            )
+
+    # ------------------------------------------------------------------
+    # Read
+    # ------------------------------------------------------------------
+    def window_p99(self) -> float:
+        """Nearest-rank p99 latency over the sliding window (0 empty)."""
+        if not self._window:
+            return 0.0
+        ordered = sorted(latency for latency, _ in self._window)
+        rank = min(len(ordered) - 1, max(0, -(-99 * len(ordered) // 100) - 1))
+        return ordered[rank]
+
+    def breach_fraction(self) -> float:
+        """Fraction of the window that breached the latency SLO."""
+        if not self._window:
+            return 0.0
+        return sum(1 for _, breached in self._window if breached) / len(
+            self._window
+        )
+
+    def burn_rate(self) -> float:
+        """Window breach fraction over the error budget (1.0 = on pace)."""
+        return self.breach_fraction() / self.policy.error_budget
+
+    def summary(self) -> dict:
+        """JSON-ready posture: policy, totals, window stats, events."""
+        counts: dict[str, int] = {}
+        for record in self.events:
+            counts[record["event"]] = counts.get(record["event"], 0) + 1
+        return {
+            "policy": self.policy.to_dict(),
+            "completions": self.completions,
+            "breaches": self.breaches,
+            "window_p99": self.window_p99(),
+            "burn_rate": self.burn_rate(),
+            "alert_open": self.alert_open,
+            "alerts": self.alerts,
+            "events": dict(sorted(counts.items())),
+        }
+
+    def event_lines(self) -> list[str]:
+        """Each event as one stable-key-order JSON line."""
+        return [
+            json.dumps(record, sort_keys=True) for record in self.events
+        ]
+
+    def write_jsonl(self, path: str, append: bool = False) -> int:
+        """Write the events as JSONL; returns the line count."""
+        with open(path, "a" if append else "w") as handle:
+            for line in self.event_lines():
+                handle.write(line + "\n")
+        return len(self.events)

@@ -1,0 +1,15 @@
+"""DET001 fixture: a wall-clock callable hidden in a parameter default.
+
+``timer=time.perf_counter`` never *calls* the clock at definition
+time, so the call-site check alone misses it — but every caller that
+omits the argument gets the host clock anyway.  The checker must flag
+the default reference itself.
+"""
+
+import time
+
+
+def measure_block(work, timer=time.perf_counter):
+    start = timer()
+    work()
+    return timer() - start

@@ -1,0 +1,85 @@
+"""Tests for the text formatting helpers in :mod:`repro.bench.report`."""
+
+from repro.bench.report import (
+    format_bytes,
+    format_ratio,
+    format_seconds,
+    format_table,
+    phase_table,
+)
+
+
+class TestScalarFormatters:
+    def test_seconds_three_regimes(self):
+        assert format_seconds(0.1234) == "0.123"
+        assert format_seconds(1.26) == "1.3"
+        assert format_seconds(99.96) == "100.0"
+        assert format_seconds(100.0) == "100"
+        assert format_seconds(1234.5) == "1234"
+
+    def test_seconds_zero(self):
+        assert format_seconds(0.0) == "0.000"
+
+    def test_ratio(self):
+        assert format_ratio(1.0) == "1.00x"
+        assert format_ratio(25.375) == "25.38x"
+
+    def test_bytes_unit_ladder(self):
+        assert format_bytes(512) == "512.0B"
+        assert format_bytes(2048) == "2.0KB"
+        assert format_bytes(3 * 1024**2) == "3.0MB"
+        assert format_bytes(5 * 1024**3) == "5.0GB"
+        assert format_bytes(2 * 1024**4) == "2.0TB"
+
+    def test_bytes_never_overflow_ladder(self):
+        # Beyond TB the value keeps growing in TB rather than erroring.
+        assert format_bytes(1024**5).endswith("TB")
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", "1"], ["b", "22"]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        header, rule, *rows = lines[1:]
+        assert header.split(" | ") == ["name ", "value"]
+        assert set(rule) == {"-", "+"}
+        assert len(rule) == len(header)
+        # Every row is padded to the same width per column.
+        assert rows[0] == "alpha | 1    "
+        assert rows[1] == "b     | 22   "
+
+    def test_column_width_tracks_widest_cell(self):
+        text = format_table(["h"], [["longercell"]])
+        lines = text.splitlines()
+        assert all(len(line) == len("longercell") for line in lines)
+
+
+class TestPhaseTable:
+    def test_sorted_by_descending_seconds_with_total(self):
+        text = phase_table({"Split": 1.0, "Histogram": 3.0, "Leaf": 1.0})
+        lines = text.splitlines()
+        names = [line.split(" | ")[0].strip() for line in lines[2:]]
+        # Ties broken alphabetically; total row is last.
+        assert names == ["Histogram", "Leaf", "Split", "total"]
+        total_row = lines[-1]
+        assert "100.0%" in total_row
+        assert "5.0" in total_row
+
+    def test_share_column(self):
+        text = phase_table({"A": 3.0, "B": 1.0})
+        rows = text.splitlines()[2:]
+        assert "75.0%" in rows[0]
+        assert "25.0%" in rows[1]
+
+    def test_zero_grand_total_uses_dashes(self):
+        text = phase_table({"A": 0.0})
+        for row in text.splitlines()[2:]:
+            assert row.rstrip().endswith("-")
+
+    def test_custom_title(self):
+        assert phase_table({"A": 1.0}, title="Phases").splitlines()[0] == "Phases"

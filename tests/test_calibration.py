@@ -1,0 +1,151 @@
+"""Tests for host calibration profiles and drift detection
+(:mod:`repro.bench.calibrate`)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench.calibrate import (
+    DEFAULT_TOLERANCES,
+    UNIT_COST_FIELDS,
+    CalibrationProfile,
+    calibrate,
+    check_drift,
+    host_fingerprint,
+    paper_ratios,
+)
+from repro.bench.costmodel import CostModel
+
+
+class FakeTimer:
+    """Monotonic fake clock: each read advances by a fixed step."""
+
+    def __init__(self, step: float = 0.001) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def fake_calibrate(**kwargs):
+    kwargs.setdefault("key_bits", 256)
+    kwargs.setdefault("samples", 8)
+    return calibrate(timer=FakeTimer(), **kwargs)
+
+
+def paper_profile(**overrides):
+    """A synthetic profile whose ratios match the paper exactly."""
+    cost = CostModel.paper()
+    if overrides:
+        cost = dataclasses.replace(cost, **overrides)
+    # Ideal packing: gain equals width, efficiency 1.0.
+    return CalibrationProfile.from_cost_model(
+        cost, key_bits=2048, packing_gain=24.0, pack_width=24
+    )
+
+
+class TestCalibrate:
+    def test_fake_timer_is_deterministic(self):
+        assert fake_calibrate().to_dict() == fake_calibrate().to_dict()
+
+    def test_profile_covers_all_unit_costs(self):
+        profile = fake_calibrate()
+        assert set(profile.unit_costs) == set(UNIT_COST_FIELDS)
+        assert all(value > 0 for value in profile.unit_costs.values())
+        assert profile.cipher_bytes > 0
+        assert profile.pack_width >= 1
+
+    def test_host_fingerprint_recorded(self):
+        profile = fake_calibrate()
+        assert profile.host == host_fingerprint()
+        assert "python" in profile.host
+
+    def test_save_load_round_trip(self, tmp_path):
+        profile = fake_calibrate()
+        path = tmp_path / "profile.json"
+        profile.save(path)
+        loaded = CalibrationProfile.load(path)
+        assert loaded == profile
+        # The artifact itself is versioned, sorted JSON.
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert list(data["unit_costs"]) == sorted(data["unit_costs"])
+
+    def test_cost_model_round_trip(self):
+        profile = fake_calibrate()
+        cost = CostModel.from_profile(profile)
+        for name in UNIT_COST_FIELDS:
+            assert getattr(cost, name) == profile.unit_costs[name]
+        assert cost.cipher_bytes == profile.cipher_bytes
+        assert profile.cost_model() == cost
+
+    def test_from_cost_model_preserves_paper_constants(self):
+        profile = paper_profile()
+        assert profile.cost_model() == CostModel.paper()
+
+
+class TestDrift:
+    def test_paper_profile_is_drift_free(self):
+        report = check_drift(paper_profile())
+        assert report.ok
+        assert report.failures() == []
+        assert {check.name for check in report.checks} == set(DEFAULT_TOLERANCES)
+        for check in report.checks:
+            assert check.factor == pytest.approx(1.0)
+
+    def test_perturbed_decryption_flags_dec_over_enc(self):
+        slow_dec = paper_profile(t_dec=CostModel.paper().t_dec * 10)
+        report = check_drift(slow_dec)
+        assert not report.ok
+        assert [check.name for check in report.failures()] == ["dec_over_enc"]
+
+    def test_broken_packing_flags_efficiency(self):
+        cost = CostModel.paper()
+        profile = CalibrationProfile.from_cost_model(
+            cost, key_bits=2048, packing_gain=1.0, pack_width=24
+        )
+        report = check_drift(profile)
+        assert "packing_efficiency" in {c.name for c in report.failures()}
+
+    def test_custom_tolerances_override_defaults(self):
+        profile = paper_profile(t_dec=CostModel.paper().t_dec * 10)
+        report = check_drift(profile, tolerances={"dec_over_enc": 100.0})
+        assert report.ok
+
+    def test_factor_is_symmetric(self):
+        paper = CostModel.paper()
+        fast = check_drift(paper_profile(t_dec=paper.t_dec / 10))
+        slow = check_drift(paper_profile(t_dec=paper.t_dec * 10))
+        fast_check = {c.name: c for c in fast.checks}["dec_over_enc"]
+        slow_check = {c.name: c for c in slow.checks}["dec_over_enc"]
+        assert fast_check.factor == pytest.approx(slow_check.factor)
+
+    def test_lines_render_verdicts(self):
+        report = check_drift(paper_profile(t_dec=CostModel.paper().t_dec * 10))
+        lines = report.lines()
+        assert len(lines) == len(report.checks)
+        assert any("DRIFT" in line for line in lines)
+        assert any(line.endswith("ok") for line in lines)
+
+    def test_to_dict_is_json_serializable(self):
+        report = check_drift(paper_profile())
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["ok"] is True
+        assert len(data["checks"]) == len(DEFAULT_TOLERANCES)
+
+    def test_this_host_measurement_passes_drift(self):
+        # The real-crypto measurement on the current host must land in
+        # the advertised bands — this is the "same regime" guarantee
+        # EXPERIMENTS.md relies on.  Tiny sample count keeps it fast.
+        profile = calibrate(key_bits=256, samples=8, seed=7)
+        assert check_drift(profile).ok
+
+    def test_paper_ratio_values(self):
+        ratios = paper_ratios()
+        paper = CostModel.paper()
+        assert ratios["dec_over_enc"] == pytest.approx(paper.t_dec / paper.t_enc)
+        assert ratios["smul_over_hadd"] == pytest.approx(paper.t_smul / paper.t_hadd)
+        assert ratios["packing_efficiency"] == 1.0

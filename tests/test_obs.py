@@ -90,6 +90,60 @@ class TestHistogram:
         assert snap["buckets"]["overflow"] == 1
 
 
+class TestHistogramCap:
+    def test_below_cap_everything_is_exact(self):
+        capped = Histogram(bounds=(10.0,), max_samples=8)
+        uncapped = Histogram(bounds=(10.0,))
+        for v in (3.0, 1.0, 7.0, 5.0):
+            capped.observe(v)
+            uncapped.observe(v)
+        assert capped.stride == 1
+        assert capped.count == uncapped.count
+        assert capped.mean() == uncapped.mean()
+        assert capped.quantile(0.5) == uncapped.quantile(0.5)
+        assert capped.snapshot() == uncapped.snapshot()
+
+    def test_decimation_doubles_stride_and_bounds_memory(self):
+        h = Histogram(bounds=(1000.0,), max_samples=8)
+        for i in range(64):
+            h.observe(float(i))
+        assert h.count == 64
+        assert h.stride > 1
+        assert len(h.samples) < 8
+        # Retained samples are the index % stride == 0 arrivals.
+        assert h.samples == [float(i) for i in range(64) if i % h.stride == 0]
+
+    def test_exact_stats_survive_decimation(self):
+        h = Histogram(bounds=(1000.0,), max_samples=4)
+        values = [float(v) for v in (5, 1, 9, 2, 8, 3, 7, 4, 6, 10)]
+        for v in values:
+            h.observe(v)
+        assert h.count == len(values)
+        assert h.mean() == pytest.approx(sum(values) / len(values))
+        assert h.snapshot()["max"] == 10.0  # max is tracked exactly forever
+        assert sum(h.counts) == len(values)  # buckets are never decimated
+
+    def test_decimation_is_deterministic(self):
+        def run():
+            h = Histogram(bounds=(100.0,), max_samples=4)
+            for i in range(50):
+                h.observe(float(i % 13))
+            return h.samples, h.stride, h.snapshot()
+
+        assert run() == run()
+
+    def test_quantile_degrades_to_subsample_not_garbage(self):
+        h = Histogram(bounds=(1e9,), max_samples=16)
+        for i in range(1000):
+            h.observe(float(i))
+        # The subsampled median stays within a stride of the true one.
+        assert abs(h.quantile(0.5) - 499.5) <= 2 * h.stride
+
+    def test_cap_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(max_samples=1)
+
+
 class TestTracer:
     def test_add_and_phase_totals(self):
         tracer = Tracer()

@@ -30,6 +30,7 @@ EXPECTED_RULES = [
     ("PB002", "leakypkg/serve/rogue_batch.py"),
     ("DET001", "leakypkg/serve/rogue_batch.py"),
     ("DET001", "leakypkg/obs/clocky.py"),
+    ("DET001", "leakypkg/bench/stale_profile.py"),
     ("CR001", "leakypkg/crosskey.py"),
     ("CR002", "leakypkg/crosskey.py"),
     ("CR003", "leakypkg/crypto/ciphertext.py"),
