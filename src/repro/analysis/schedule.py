@@ -1,4 +1,4 @@
-"""Schedule-graph validator (rules ``SCH001``-``SCH004``).
+"""Schedule-graph validator (rules ``SCH001``-``SCH005``).
 
 The protocol schedulers in :mod:`repro.core.protocol` emit task graphs
 whose *structure* carries the paper's speedup claims (overlap of Enc /
@@ -13,11 +13,16 @@ This validator checks any task graph (objects exposing ``task_id``,
 * **SCH001** — dependency cycles;
 * **SCH002** — dangling dependency ids;
 * **SCH003** — two tasks overlapping on the same ``(resource, lane)``;
-* **SCH004** — causality: a task starting before a dependency ends.
+* **SCH004** — causality: a task starting before a dependency ends;
+* **SCH005** — fault consistency: with a ``fault_plan``, a task
+  starting inside one of its resource's party pause windows (a paused
+  party starts no new work — :class:`~repro.fed.faults.FaultyEngine`
+  must have pushed the start past the window).
 
 :func:`self_check` exercises the real :class:`ProtocolScheduler` over
-small analytic traces for every protocol variant and validates each
-emitted tree graph — the form run by ``python -m repro.analysis``.
+small analytic traces for every protocol variant — fault-free and
+fault-injected — and validates each emitted tree graph, the form run
+by ``python -m repro.analysis``.
 """
 
 from __future__ import annotations
@@ -45,8 +50,18 @@ def _finding(rule: str, label: str, message: str) -> Finding:
     )
 
 
-def validate_task_graph(tasks: Sequence, label: str = "graph") -> list[Finding]:
-    """Validate one task graph; returns findings (empty = healthy)."""
+def validate_task_graph(
+    tasks: Sequence, label: str = "graph", fault_plan=None
+) -> list[Finding]:
+    """Validate one task graph; returns findings (empty = healthy).
+
+    Args:
+        tasks: the graph (``SimTask``-shaped objects).
+        label: run label embedded in findings.
+        fault_plan: the :class:`~repro.fed.faults.FaultPlan` the graph
+            was scheduled under, if any — enables the SCH005 pause
+            window check.
+    """
     findings: list[Finding] = []
     by_id = {task.task_id: task for task in tasks}
 
@@ -127,6 +142,30 @@ def validate_task_graph(tasks: Sequence, label: str = "graph") -> list[Finding]:
                         f"vs [{later.start:.6f}, {later.end:.6f})",
                     )
                 )
+
+    # SCH005: no task may *start* inside a pause window of its
+    # resource's party (zero-length anchor tasks are exempt — they model
+    # instantaneous ordering, not work).
+    if fault_plan is not None:
+        from repro.fed.faults import party_of_resource
+
+        for task in tasks:
+            if task.end - task.start <= _EPS:
+                continue
+            party = party_of_resource(task.resource)
+            if party is None:
+                continue
+            window = fault_plan.paused_at(party, task.start + _EPS)
+            if window is not None:
+                findings.append(
+                    _finding(
+                        "SCH005",
+                        label,
+                        f"task {task.task_id} ({task.name!r}) starts at "
+                        f"{task.start:.6f} inside party {party}'s pause "
+                        f"window [{window.start:.6f}, {window.end:.6f})",
+                    )
+                )
     return findings
 
 
@@ -140,6 +179,7 @@ def self_check(n_trees: int = 2) -> Reporter:
     from repro.core.profile import analytic_trace
     from repro.core.protocol import ProtocolScheduler
     from repro.fed.cluster import ClusterSpec
+    from repro.fed.faults import FaultPlan, LaneSlowdown, PauseWindow
 
     reporter = Reporter()
     trace = analytic_trace(
@@ -158,10 +198,23 @@ def self_check(n_trees: int = 2) -> Reporter:
     }
     cost = CostModel.paper()
     cluster = ClusterSpec()
+    # Fault-injected variants must satisfy the same structural rules
+    # *plus* SCH005 (no task starts inside its party's pause window).
+    fault_plans = {
+        "": None,
+        "+faults": FaultPlan(
+            seed=17,
+            slowdowns=(LaneSlowdown("A1", 2.5),),
+            pauses=(PauseWindow(party=1, start=0.5, end=1.5),),
+        ),
+    }
     for label, config in variants.items():
         scheduler = ProtocolScheduler(config, cost, cluster)
-        result = scheduler.schedule(trace, collect_tasks=True)
-        for tree_index, graph in enumerate(result.task_graphs):
-            for finding in validate_task_graph(graph, f"{label}:tree{tree_index}"):
-                reporter.emit(finding)
+        for suffix, plan in fault_plans.items():
+            result = scheduler.schedule(trace, collect_tasks=True, fault_plan=plan)
+            for tree_index, graph in enumerate(result.task_graphs):
+                for finding in validate_task_graph(
+                    graph, f"{label}{suffix}:tree{tree_index}", fault_plan=plan
+                ):
+                    reporter.emit(finding)
     return reporter

@@ -28,12 +28,14 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "PERF_SHAPE",
+    "FAULT_SHAPE",
     "GateResult",
     "GateVerdict",
     "PerfDB",
     "PerfEntry",
     "PerfScalar",
     "counted_scenario",
+    "faults_scenario",
     "fig7_scenario",
     "gate",
 ]
@@ -235,6 +237,140 @@ def counted_scenario() -> PerfEntry:
     )
     scalars["sim_makespan"] = PerfScalar(makespan, kind="exact", direction="lower")
     return PerfEntry(name="counted-train", scalars=scalars, meta=dict(shape))
+
+
+#: the fixed workload + fault schedule of the recovery-cost scenario;
+#: counted crypto (models must stay bit-identical to fault-free) with a
+#: fault plan whose every decision is hash-derived, so each scalar is
+#: exact and gated bit-equally.
+FAULT_SHAPE = {
+    "n_instances": 64,
+    "n_features": 6,
+    "n_trees": 2,
+    "n_layers": 3,
+    "n_bins": 6,
+    "key_bits": 256,
+    "seed": 20210614,
+    "fault_seed": 77,
+    "drop_rate": 0.1,
+    "duplicate_rate": 0.1,
+    "ack_drop_rate": 0.1,
+    "max_retries": 6,
+    "straggler_factor": 2.0,
+    # Pause the active party across the first optimistic-split boundary
+    # (~t=1.0 on this workload) so the window provably displaces task
+    # starts and the recovery-overhead scalar gates a nonzero cost.
+    "pause_party": 0,
+    "pause_start": 1.0,
+    "pause_end": 1.5,
+}
+
+
+def faults_scenario() -> PerfEntry:
+    """Exact scenario: recovery cost of a fixed fault schedule.
+
+    Trains a counted-mode run under the :data:`FAULT_SHAPE` fault plan
+    and prices a straggler + pause schedule through the fault-injected
+    scheduler.  Every scalar (resend counts, recovery-clock seconds,
+    dropped bytes, faulty makespan) is a deterministic function of the
+    seeds, so the gate catches any change in the recovery machinery's
+    cost — a resend storm, a dedupe miss, a scheduler perturbation
+    drift — bit-exactly.  The model-identity invariant itself is
+    enforced by the test suite; this entry gates the *price* of
+    recovery.
+    """
+    import numpy as np
+
+    from repro.bench.costmodel import CostModel
+    from repro.core.config import VF2BoostConfig
+    from repro.core.profile import analytic_trace
+    from repro.core.protocol import ProtocolScheduler
+    from repro.core.trainer import FederatedTrainer
+    from repro.fed.cluster import PAPER_CLUSTER
+    from repro.fed.faults import FaultPlan, LaneSlowdown, PauseWindow
+    from repro.fed.retry import RetryPolicy
+    from repro.gbdt.binning import bin_dataset
+    from repro.gbdt.params import GBDTParams
+
+    shape = FAULT_SHAPE
+    params = GBDTParams(
+        n_trees=shape["n_trees"],
+        n_layers=shape["n_layers"],
+        n_bins=shape["n_bins"],
+    )
+    config = VF2BoostConfig.vf2boost(
+        params=params,
+        crypto_mode="counted",
+        key_bits=shape["key_bits"],
+        seed=shape["seed"],
+    )
+    rng = np.random.default_rng(shape["seed"])
+    n, d = shape["n_instances"], shape["n_features"]
+    features = rng.normal(size=(n, d))
+    labels = ((features @ rng.normal(size=d)) > 0).astype(float)
+    full = bin_dataset(features, shape["n_bins"])
+    half = d // 2
+    parties = [
+        full.subset_features(np.arange(0, half)),
+        full.subset_features(np.arange(half, d)),
+    ]
+    plan = FaultPlan(
+        seed=shape["fault_seed"],
+        drop_rate=shape["drop_rate"],
+        duplicate_rate=shape["duplicate_rate"],
+        ack_drop_rate=shape["ack_drop_rate"],
+    )
+    result = FederatedTrainer(config).fit(
+        parties,
+        labels,
+        fault_plan=plan,
+        retry_policy=RetryPolicy(max_retries=shape["max_retries"]),
+    )
+    summary = result.faults
+
+    schedule_plan = FaultPlan(
+        seed=shape["fault_seed"],
+        slowdowns=(LaneSlowdown("A1", shape["straggler_factor"]),),
+        pauses=(
+            PauseWindow(
+                party=shape["pause_party"],
+                start=shape["pause_start"],
+                end=shape["pause_end"],
+            ),
+        ),
+    )
+    trace = analytic_trace(
+        shape["n_instances"],
+        half,
+        [d - half],
+        density=1.0,
+        n_bins=shape["n_bins"],
+        n_layers=shape["n_layers"],
+        n_trees=shape["n_trees"],
+    )
+    scheduler = ProtocolScheduler(config, CostModel.paper(), PAPER_CLUSTER)
+    clean_makespan = scheduler.schedule(trace).makespan
+    faulty_makespan = scheduler.schedule(trace, fault_plan=schedule_plan).makespan
+
+    scalars = {
+        key: PerfScalar(float(summary[key]), kind="exact", direction="lower")
+        for key in (
+            "drops",
+            "duplicates",
+            "ack_drops",
+            "resends",
+            "dedupe_dropped",
+            "dropped_bytes",
+            "recovery_seconds",
+        )
+    }
+    scalars["sim_makespan_faulty"] = PerfScalar(
+        faulty_makespan, kind="exact", direction="lower"
+    )
+    scalars["sim_recovery_overhead"] = PerfScalar(
+        faulty_makespan - clean_makespan, kind="exact", direction="lower"
+    )
+    return PerfEntry(name="faults-recovery", scalars=scalars, meta=dict(shape))
 
 
 def fig7_scenario(key_bits: int = 512, samples: int = 48) -> PerfEntry:

@@ -10,6 +10,8 @@ Usage::
     python -m repro trace run.report.json -o run.trace.json
     python -m repro bench-gate --db BENCH_perf.json
     python -m repro calibrate -o profile.json --check
+    python -m repro train --trees 8 --checkpoint-dir ckpts --fault-seed 7
+    python -m repro faults --sweep
 
 Each experiment prints its rendered table; heavier experiments accept
 the same keyword knobs through the library API (see
@@ -20,9 +22,13 @@ saved :class:`~repro.obs.RunReport` as Chrome trace-event JSON
 (openable at https://ui.perfetto.dev) and prints the report's phase
 breakdown.  ``bench-gate`` runs the benchmark scenarios, gates them
 against the append-only performance database and appends the new
-entries when the gate passes (exit 1 on regression).  ``calibrate``
-microbenchmarks this host into a calibration profile and optionally
-checks its cost ratios for drift against the paper references.
+entries when the gate passes (exit 1 on regression; ``--faults`` adds
+the recovery-cost scenario).  ``calibrate`` microbenchmarks this host
+into a calibration profile and optionally checks its cost ratios for
+drift against the paper references.  ``train`` runs a federated
+training job on synthetic data with optional fault injection,
+checkpointing and resume; ``faults`` sweeps fault rates and verifies
+the fault-free model is reproduced bit-exactly at every point.
 """
 
 from __future__ import annotations
@@ -107,7 +113,13 @@ def _bench_gate_main(argv: list[str]) -> int:
     """``repro bench-gate``: run scenarios, gate vs the perf database."""
     import json
 
-    from repro.bench.perfdb import PerfDB, counted_scenario, fig7_scenario, gate
+    from repro.bench.perfdb import (
+        PerfDB,
+        counted_scenario,
+        faults_scenario,
+        fig7_scenario,
+        gate,
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro bench-gate",
@@ -140,6 +152,11 @@ def _bench_gate_main(argv: list[str]) -> int:
         help="also run the measured Figure 7 throughput scenario",
     )
     parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="also run the exact fault-recovery cost scenario",
+    )
+    parser.add_argument(
         "--key-bits",
         type=int,
         default=512,
@@ -164,6 +181,8 @@ def _bench_gate_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
 
     entries = [counted_scenario()]
+    if args.faults:
+        entries.append(faults_scenario())
     if args.fig7:
         entries.append(fig7_scenario(key_bits=args.key_bits, samples=args.samples))
     db = PerfDB.load(args.db)
@@ -246,6 +265,251 @@ def _calibrate_main(argv: list[str]) -> int:
     return 0
 
 
+def _synthetic_parties(rows: int, features: int, bins: int, seed: int):
+    """Seeded synthetic data, vertically split B/A down the middle."""
+    from repro.data.synthetic import SyntheticSpec, generate_classification
+    from repro.gbdt.binning import bin_dataset
+
+    import numpy as np
+
+    spec = SyntheticSpec(n_instances=rows, n_features=features, seed=seed)
+    matrix, labels = generate_classification(spec)
+    full = bin_dataset(matrix, bins)
+    half = features // 2
+    parties = [
+        full.subset_features(np.arange(0, half)),
+        full.subset_features(np.arange(half, features)),
+    ]
+    return parties, labels
+
+
+def _plan_from_args(args) -> "object | None":
+    """A FaultPlan from CLI flags; None when every knob is zero."""
+    from repro.fed.faults import FaultPlan
+
+    crash_after = tuple(
+        int(item) for item in (args.crash_after or "").split(",") if item.strip()
+    )
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        drop_rate=args.drop_rate,
+        duplicate_rate=args.dup_rate,
+        delay_rate=args.delay_rate,
+        ack_drop_rate=args.ack_drop_rate,
+        crash_after_trees=crash_after,
+    )
+    return None if plan.is_null else plan
+
+
+def _train_main(argv: list[str]) -> int:
+    """``repro train``: fault-tolerant federated training on synthetic data."""
+    from repro.core.config import VF2BoostConfig
+    from repro.core.serialization import save_model
+    from repro.core.trainer import FederatedTrainer
+    from repro.fed.retry import RetryPolicy
+
+    parser = argparse.ArgumentParser(
+        prog="repro train",
+        description=(
+            "Train a federated model on seeded synthetic data, optionally "
+            "under an injected fault plan with checkpoint/resume."
+        ),
+    )
+    parser.add_argument("--rows", type=int, default=400)
+    parser.add_argument("--features", type=int, default=10)
+    parser.add_argument("--trees", type=int, default=6)
+    parser.add_argument("--layers", type=int, default=4)
+    parser.add_argument("--bins", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0, help="data/crypto seed")
+    parser.add_argument(
+        "--crypto-mode", default="counted", choices=("counted", "real", "mock")
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write a checkpoint after every tree (required with --crash-after)",
+    )
+    parser.add_argument(
+        "--resume-from", default=None, help="checkpoint to resume from"
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, help="fault schedule seed"
+    )
+    parser.add_argument("--drop-rate", type=float, default=0.0)
+    parser.add_argument("--dup-rate", type=float, default=0.0)
+    parser.add_argument("--delay-rate", type=float, default=0.0)
+    parser.add_argument("--ack-drop-rate", type=float, default=0.0)
+    parser.add_argument(
+        "--crash-after",
+        default="",
+        help="comma-separated tree indices after which the trainer crashes "
+        "(each crash checkpoints and auto-resumes)",
+    )
+    parser.add_argument("--max-retries", type=int, default=6)
+    parser.add_argument(
+        "--model-out", default=None, help="write the model skeleton here"
+    )
+    parser.add_argument(
+        "--report-out", default=None, help="write the RunReport JSON here"
+    )
+    args = parser.parse_args(argv)
+
+    parties, labels = _synthetic_parties(
+        args.rows, args.features, args.bins, args.seed
+    )
+    config = VF2BoostConfig.vf2boost(
+        params=GBDTParams(
+            n_trees=args.trees, n_layers=args.layers, n_bins=args.bins
+        ),
+        crypto_mode=args.crypto_mode,
+        key_bits=256 if args.crypto_mode == "real" else 2048,
+        seed=args.seed,
+    )
+    plan = _plan_from_args(args)
+    trainer = FederatedTrainer(config)
+    result = trainer.fit_resilient(
+        parties,
+        labels,
+        fault_plan=plan,
+        retry_policy=RetryPolicy(max_retries=args.max_retries),
+        resume_from=args.resume_from,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    print(
+        f"trained {len(result.model.trees)} trees "
+        f"(final train loss {result.history[-1].train_loss:.4f})"
+    )
+    if result.faults:
+        resumed = result.faults.get("resumes", 0)
+        print(
+            f"faults: {result.faults['drops']} drops, "
+            f"{result.faults['resends']} resends, "
+            f"{result.faults['dedupe_dropped']} deduped, "
+            f"{resumed} resume(s), "
+            f"{result.faults['recovery_seconds']:.2f}s recovery"
+        )
+    if args.model_out:
+        stem = (
+            args.model_out[:-5]
+            if args.model_out.endswith(".json")
+            else args.model_out
+        )
+        written = save_model(result.model, args.model_out, f"{stem}.private")
+        print(f"wrote {', '.join(written)}")
+    if args.report_out:
+        result.run_report(label="cli-train").save(args.report_out)
+        print(f"wrote {args.report_out}")
+    return 0
+
+
+def _faults_main(argv: list[str]) -> int:
+    """``repro faults``: recovery-cost sweep with model-identity check."""
+    import json
+
+    from repro.core.config import VF2BoostConfig
+    from repro.core.serialization import model_to_payloads
+    from repro.core.trainer import FederatedTrainer
+    from repro.fed.faults import FaultPlan
+    from repro.fed.retry import RetryPolicy
+
+    parser = argparse.ArgumentParser(
+        prog="repro faults",
+        description=(
+            "Sweep message-drop rates over a seeded synthetic training "
+            "run, report the recovery cost at each point, and verify the "
+            "trained model stays bit-identical to the fault-free run."
+        ),
+    )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="full sweep (drop rates 0 to 0.3; the EXPERIMENTS.md table)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced two-point sweep for CI (tier-1 wiring)",
+    )
+    parser.add_argument("--rows", type=int, default=240)
+    parser.add_argument("--features", type=int, default=8)
+    parser.add_argument("--trees", type=int, default=3)
+    parser.add_argument("--layers", type=int, default=3)
+    parser.add_argument("--bins", type=int, default=8)
+    parser.add_argument("--fault-seed", type=int, default=7)
+    parser.add_argument("--max-retries", type=int, default=8)
+    parser.add_argument("--json", action="store_true", help="JSON output")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        rates = (0.0, 0.1)
+    else:
+        rates = (0.0, 0.02, 0.05, 0.1, 0.2, 0.3)
+
+    parties, labels = _synthetic_parties(
+        args.rows, args.features, args.bins, seed=3
+    )
+    config = VF2BoostConfig.vf2boost(
+        params=GBDTParams(
+            n_trees=args.trees, n_layers=args.layers, n_bins=args.bins
+        ),
+        crypto_mode="counted",
+    )
+    policy = RetryPolicy(max_retries=args.max_retries)
+    baseline_bytes = None
+    rows = []
+    all_identical = True
+    for rate in rates:
+        plan = FaultPlan(
+            seed=args.fault_seed,
+            drop_rate=rate,
+            duplicate_rate=rate / 2,
+            ack_drop_rate=rate / 2,
+        )
+        result = FederatedTrainer(config).fit(
+            parties,
+            labels,
+            fault_plan=None if plan.is_null else plan,
+            retry_policy=policy,
+        )
+        model_bytes = json.dumps(
+            model_to_payloads(result.model), sort_keys=True
+        )
+        if baseline_bytes is None:
+            baseline_bytes = model_bytes
+        identical = model_bytes == baseline_bytes
+        all_identical = all_identical and identical
+        summary = result.faults or {
+            "resends": 0,
+            "dropped_bytes": 0,
+            "recovery_seconds": 0.0,
+        }
+        rows.append(
+            {
+                "drop_rate": rate,
+                "resends": summary["resends"],
+                "dropped_bytes": summary["dropped_bytes"],
+                "recovery_seconds": summary["recovery_seconds"],
+                "model_identical": identical,
+            }
+        )
+    if args.json:
+        print(json.dumps({"rows": rows, "ok": all_identical}, indent=1))
+    else:
+        print(f"{'drop':>6} {'resends':>8} {'dropped-B':>10} "
+              f"{'recovery-s':>11}  model")
+        for row in rows:
+            print(
+                f"{row['drop_rate']:>6.2f} {row['resends']:>8d} "
+                f"{row['dropped_bytes']:>10d} "
+                f"{row['recovery_seconds']:>11.3f}  "
+                + ("identical" if row["model_identical"] else "DIVERGED")
+            )
+    if not all_identical:
+        print("fault sweep FAILED: model diverged under faults", file=sys.stderr)
+        return 1
+    return 0
+
+
 #: experiments with a machine-readable variant (``--json``)
 JSON_EXPERIMENTS: dict[str, object] = {
     "fig7": lambda: experiments.run_fig7_data(),
@@ -263,6 +527,10 @@ def main(argv: list[str] | None = None) -> int:
         return _bench_gate_main(argv[1:])
     if argv and argv[0] == "calibrate":
         return _calibrate_main(argv[1:])
+    if argv and argv[0] == "train":
+        return _train_main(argv[1:])
+    if argv and argv[0] == "faults":
+        return _faults_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate VF2Boost (SIGMOD 2021) evaluation artifacts.",
@@ -292,6 +560,8 @@ def main(argv: list[str] | None = None) -> int:
         print("  trace    export Chrome trace from a saved run report")
         print("  bench-gate  run + gate benchmarks vs BENCH_perf.json")
         print("  calibrate   microbenchmark this host's crypto unit costs")
+        print("  train       train on synthetic data (faults, checkpoints)")
+        print("  faults      recovery-cost sweep + model-identity check")
         return 0
     if "all" in requested:
         requested = list(EXPERIMENTS)

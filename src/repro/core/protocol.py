@@ -35,6 +35,7 @@ from repro.bench.costmodel import CostModel
 from repro.core.config import VF2BoostConfig
 from repro.core.trace import TraceLog, TreeTrace
 from repro.fed.cluster import ClusterSpec
+from repro.fed.faults import FaultPlan, FaultyEngine
 from repro.fed.simtime import SimEngine, SimTask
 
 __all__ = ["ScheduleResult", "ProtocolScheduler"]
@@ -213,13 +214,23 @@ class ProtocolScheduler:
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def schedule(self, trace: TraceLog, collect_tasks: bool = False) -> ScheduleResult:
+    def schedule(
+        self,
+        trace: TraceLog,
+        collect_tasks: bool = False,
+        fault_plan: FaultPlan | None = None,
+    ) -> ScheduleResult:
         """Schedule every tree of a trace; see :class:`ScheduleResult`.
 
         Args:
             trace: the workload to price.
             collect_tasks: also return every tree's task graph in
                 :attr:`ScheduleResult.task_graphs` (schedule validation).
+            fault_plan: optional :class:`~repro.fed.faults.FaultPlan`;
+                straggler lane slowdowns and party pause windows then
+                perturb every tree's schedule (via
+                :class:`~repro.fed.faults.FaultyEngine`), pricing the
+                recovery cost of the plan into the makespan.
         """
         per_tree: list[float] = []
         phase_totals: dict[str, float] = {}
@@ -233,7 +244,9 @@ class ProtocolScheduler:
             for p, shape in enumerate(trace.passive_shapes)
         ]
         for index, tree in enumerate(trace.trees):
-            engine = SimEngine()
+            engine: SimEngine = (
+                FaultyEngine(fault_plan) if fault_plan is not None else SimEngine()
+            )
             breakdown, tree_bytes = self._schedule_tree(engine, trace, tree, parties)
             per_tree.append(engine.makespan)
             total_bytes += tree_bytes

@@ -13,11 +13,15 @@ library upgrades — the production-friendliness requirement of §3.3.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import math
 from typing import Any
 
+from repro.core.trace import LayerTrace, NodeTrace, PartyShape, TraceLog, TreeTrace
 from repro.core.trainer import FederatedModel
+from repro.gbdt.boosting import EvalRecord
 from repro.gbdt.tree import DecisionTree, TreeNode
 
 __all__ = [
@@ -28,9 +32,19 @@ __all__ = [
     "load_model",
     "split_owners",
     "FORMAT_VERSION",
+    "CHECKPOINT_FORMAT_VERSION",
+    "config_fingerprint",
+    "trace_to_payload",
+    "trace_from_payload",
+    "save_checkpoint",
+    "load_checkpoint",
 ]
 
 FORMAT_VERSION = 1
+
+#: version of the tree-boundary training checkpoint layout; bumped on
+#: any incompatible change so a resume never misreads an old file.
+CHECKPOINT_FORMAT_VERSION = 1
 
 
 class ModelFormatError(ValueError):
@@ -219,3 +233,159 @@ def load_model(
         private[owner] = json.loads(file.read_text())
     require_owners = split_owners(shared) if require_complete else None
     return model_from_payloads(shared, private, require_owners=require_owners)
+
+
+# ----------------------------------------------------------------------
+# Tree-boundary training checkpoints
+# ----------------------------------------------------------------------
+def config_fingerprint(config) -> str:
+    """Stable digest of a :class:`~repro.core.config.VF2BoostConfig`.
+
+    Stored in every checkpoint and verified on resume: training
+    continued under different hyper-parameters or crypto settings would
+    silently diverge from the uninterrupted run, so a mismatch is an
+    eager :class:`ModelFormatError` instead.
+    """
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def trace_to_payload(trace: TraceLog) -> dict[str, Any]:
+    """JSON-ready form of a :class:`~repro.core.trace.TraceLog`."""
+    return {
+        "n_instances": trace.n_instances,
+        "active_shape": dataclasses.asdict(trace.active_shape),
+        "passive_shapes": [
+            dataclasses.asdict(shape) for shape in trace.passive_shapes
+        ],
+        "trees": [
+            {
+                "tree_index": tree.tree_index,
+                "n_instances": tree.n_instances,
+                "n_exponents": tree.n_exponents,
+                "layers": [
+                    {
+                        "depth": layer.depth,
+                        "nodes": [
+                            dataclasses.asdict(node) for node in layer.nodes
+                        ],
+                    }
+                    for layer in tree.layers
+                ],
+            }
+            for tree in trace.trees
+        ],
+    }
+
+
+def trace_from_payload(payload: dict[str, Any]) -> TraceLog:
+    """Inverse of :func:`trace_to_payload`."""
+    return TraceLog(
+        n_instances=payload["n_instances"],
+        active_shape=PartyShape(**payload["active_shape"]),
+        passive_shapes=[
+            PartyShape(**shape) for shape in payload["passive_shapes"]
+        ],
+        trees=[
+            TreeTrace(
+                tree_index=tree["tree_index"],
+                n_instances=tree["n_instances"],
+                n_exponents=tree["n_exponents"],
+                layers=[
+                    LayerTrace(
+                        depth=layer["depth"],
+                        nodes=[NodeTrace(**node) for node in layer["nodes"]],
+                    )
+                    for layer in tree["layers"]
+                ],
+            )
+            for tree in payload["trees"]
+        ],
+    )
+
+
+def save_checkpoint(
+    path: str,
+    *,
+    config,
+    model: FederatedModel,
+    margins,
+    history: list[EvalRecord],
+    trace: TraceLog,
+    next_tree: int,
+    valid_margins=None,
+) -> str:
+    """Write a tree-boundary checkpoint of a training run.
+
+    One self-contained JSON file: the partially-built model (skeleton
+    *and* sidecars — a checkpoint stays with the training operator, it
+    is not a published artifact), the exact margins (JSON floats
+    round-trip bit-exactly through ``repr``), the evaluation history,
+    the workload trace, and the index of the next tree to build.
+
+    Returns:
+        The path written.
+    """
+    import pathlib
+
+    payload = {
+        "checkpoint_format_version": CHECKPOINT_FORMAT_VERSION,
+        "config_fingerprint": config_fingerprint(config),
+        "next_tree": next_tree,
+        "model": model_to_payloads(model),
+        "margins": [float(m) for m in margins],
+        "valid_margins": (
+            None if valid_margins is None else [float(m) for m in valid_margins]
+        ),
+        "history": [dataclasses.asdict(record) for record in history],
+        "trace": trace_to_payload(trace),
+    }
+    file = pathlib.Path(path)
+    file.parent.mkdir(parents=True, exist_ok=True)
+    file.write_text(json.dumps(payload))
+    return str(file)
+
+
+def load_checkpoint(path: str, config=None) -> dict[str, Any]:
+    """Read a checkpoint back into live objects.
+
+    Args:
+        path: checkpoint JSON path.
+        config: when given, the resuming run's configuration — its
+            fingerprint must match the one training checkpointed under.
+
+    Returns:
+        ``{"model", "margins", "valid_margins", "history", "trace",
+        "next_tree"}`` with ``margins`` as float lists (the caller
+        re-wraps them as arrays).
+
+    Raises:
+        ModelFormatError: on version or configuration mismatch.
+    """
+    import pathlib
+
+    payload = json.loads(pathlib.Path(path).read_text())
+    version = payload.get("checkpoint_format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise ModelFormatError(
+            f"unsupported checkpoint format version: {version!r} "
+            f"(this build reads version {CHECKPOINT_FORMAT_VERSION})"
+        )
+    if config is not None:
+        expected = config_fingerprint(config)
+        if payload.get("config_fingerprint") != expected:
+            raise ModelFormatError(
+                "checkpoint was written under a different configuration; "
+                "resuming with changed hyper-parameters or crypto settings "
+                "would diverge from the uninterrupted run"
+            )
+    model_payloads = payload["model"]
+    private = {int(k): v for k, v in model_payloads["private"].items()}
+    return {
+        "model": model_from_payloads(model_payloads["shared"], private),
+        "margins": payload["margins"],
+        "valid_margins": payload.get("valid_margins"),
+        "history": [EvalRecord(**record) for record in payload["history"]],
+        "trace": trace_from_payload(payload["trace"]),
+        "next_tree": payload["next_tree"],
+    }

@@ -49,6 +49,9 @@ from repro.crypto.pairing import GradHessCodec
 from repro.core.trace import LayerTrace, NodeTrace, PartyShape, TraceLog, TreeTrace
 from repro.crypto.ciphertext import OpStats, PaillierContext
 from repro.fed.channel import RecordingChannel
+from repro.fed.faults import FaultPlan
+from repro.fed.reliable import ReliableChannel
+from repro.fed.retry import RetryPolicy
 from repro.fed.messages import (
     CountedCipherPayload,
     EncryptedGradHessBatch,
@@ -68,9 +71,31 @@ from repro.gbdt.metrics import auc
 from repro.gbdt.split import SplitCandidate, find_best_split, leaf_weight
 from repro.gbdt.tree import DecisionTree, partition_instances
 
-__all__ = ["FederatedModel", "FederatedTrainer", "TrainResult"]
+__all__ = [
+    "FederatedModel",
+    "FederatedTrainer",
+    "TrainResult",
+    "TrainingInterrupted",
+]
 
 ACTIVE = 0  # party id of Party B by repository convention
+
+
+class TrainingInterrupted(RuntimeError):
+    """A fault plan crashed the trainer at a tree boundary.
+
+    State up to and including the completed tree is on disk; pass
+    :attr:`checkpoint_path` as ``fit(resume_from=...)`` (or call
+    :meth:`FederatedTrainer.fit_resilient`) to continue the run.
+    """
+
+    def __init__(self, checkpoint_path: str, completed_trees: int) -> None:
+        super().__init__(
+            f"training crashed after tree {completed_trees - 1}; "
+            f"resume from {checkpoint_path}"
+        )
+        self.checkpoint_path = checkpoint_path
+        self.completed_trees = completed_trees
 
 
 @dataclass
@@ -118,6 +143,11 @@ class TrainResult:
             :meth:`~repro.obs.profiler.HotPathProfiler.summary` when a
             profiler was injected — per-phase/per-op hot-path totals
             whose counts (summed over parties) equal ``crypto_stats``.
+        faults: the reliable channel's
+            :meth:`~repro.fed.reliable.ReliableChannel.summary` when a
+            fault plan was active — drop/resend/dedupe tallies plus the
+            recovery-clock seconds the faults cost.  Empty on
+            fault-free runs.
     """
 
     model: FederatedModel
@@ -126,6 +156,7 @@ class TrainResult:
     channel: RecordingChannel
     crypto_stats: dict[int, "OpStats"] = field(default_factory=dict)
     profile: dict = field(default_factory=dict)
+    faults: dict = field(default_factory=dict)
 
     def run_report(self, label: str = "", config: dict | None = None):
         """Bundle this run as a :class:`~repro.obs.report.RunReport`.
@@ -154,6 +185,7 @@ class TrainResult:
                 for party, stats in sorted(self.crypto_stats.items())
             },
             profile=dict(self.profile),
+            faults=dict(self.faults),
         )
 
 
@@ -203,6 +235,10 @@ class FederatedTrainer:
         labels: np.ndarray,
         valid_party_codes: dict[int, np.ndarray] | None = None,
         valid_labels: np.ndarray | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        resume_from: str | None = None,
+        checkpoint_dir: str | None = None,
     ) -> TrainResult:
         """Train a federated model.
 
@@ -213,15 +249,73 @@ class FederatedTrainer:
             labels: Party B's labels.
             valid_party_codes: optional per-party validation bin codes.
             valid_labels: labels for the validation set.
+            fault_plan: optional :class:`~repro.fed.faults.FaultPlan`;
+                when set, all protocol traffic crosses a
+                :class:`~repro.fed.reliable.ReliableChannel` that
+                replays the plan's deterministic faults and recovers
+                from them.  The final model is bit-identical to the
+                fault-free run for every survivable plan.
+            retry_policy: ack timeout/retry knobs of the reliable
+                channel (defaults to :class:`RetryPolicy` defaults).
+            resume_from: checkpoint path to continue a crashed run.
+            checkpoint_dir: when set, a checkpoint is written after
+                every tree; required when ``fault_plan`` schedules
+                crashes.
+
+        Raises:
+            TrainingInterrupted: when the fault plan crashes the run at
+                a tree boundary (after writing the checkpoint).
         """
         if self.profiler is None:
             return self._fit(
-                party_datasets, labels, valid_party_codes, valid_labels
+                party_datasets, labels, valid_party_codes, valid_labels,
+                fault_plan, retry_policy, resume_from, checkpoint_dir,
             )
         with self.profiler:
             return self._fit(
-                party_datasets, labels, valid_party_codes, valid_labels
+                party_datasets, labels, valid_party_codes, valid_labels,
+                fault_plan, retry_policy, resume_from, checkpoint_dir,
             )
+
+    def fit_resilient(
+        self,
+        party_datasets: list[BinnedDataset],
+        labels: np.ndarray,
+        valid_party_codes: dict[int, np.ndarray] | None = None,
+        valid_labels: np.ndarray | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        resume_from: str | None = None,
+        checkpoint_dir: str | None = None,
+    ) -> TrainResult:
+        """:meth:`fit`, restarted from its checkpoint after every crash.
+
+        The supervisor loop a real deployment would run: each
+        :class:`TrainingInterrupted` becomes a resume from the
+        checkpoint it left behind, until training completes.
+        """
+        resumes = 0
+        while True:
+            try:
+                result = self.fit(
+                    party_datasets,
+                    labels,
+                    valid_party_codes,
+                    valid_labels,
+                    fault_plan=fault_plan,
+                    retry_policy=retry_policy,
+                    resume_from=resume_from,
+                    checkpoint_dir=checkpoint_dir,
+                )
+            except TrainingInterrupted as interrupt:
+                resume_from = interrupt.checkpoint_path
+                resumes += 1
+                if self.registry is not None:
+                    self.registry.inc("fed.faults.resumes")
+                continue
+            if resumes and result.faults:
+                result.faults["resumes"] = resumes
+            return result
 
     def _fit(
         self,
@@ -229,6 +323,10 @@ class FederatedTrainer:
         labels: np.ndarray,
         valid_party_codes: dict[int, np.ndarray] | None = None,
         valid_labels: np.ndarray | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        resume_from: str | None = None,
+        checkpoint_dir: str | None = None,
     ) -> TrainResult:
         labels = np.asarray(labels, dtype=np.float64)
         n = party_datasets[0].n_instances
@@ -245,6 +343,18 @@ class FederatedTrainer:
         channel = RecordingChannel(
             self.config.key_bits, active_party=ACTIVE, registry=self.registry
         )
+        if fault_plan is not None and not fault_plan.is_null:
+            if fault_plan.crash_after_trees and checkpoint_dir is None:
+                raise ValueError(
+                    "fault_plan schedules crashes; pass checkpoint_dir so "
+                    "the run can be resumed"
+                )
+            channel = ReliableChannel(
+                channel,
+                plan=fault_plan,
+                policy=retry_policy,
+                registry=self.registry,
+            )
         context = self._make_context() if self._real else None
         public_contexts = (
             {p: context.public_context() for p in range(1, n_passive + 1)}
@@ -274,7 +384,34 @@ class FederatedTrainer:
             valid_labels = np.asarray(valid_labels, dtype=np.float64)
             valid_margins = np.full(valid_labels.shape[0], base, dtype=np.float64)
 
-        for t in range(params.n_trees):
+        start_tree = 0
+        if resume_from is not None:
+            from repro.core.serialization import load_checkpoint
+
+            state = load_checkpoint(resume_from, config=self.config)
+            model = state["model"]
+            margins = np.asarray(state["margins"], dtype=np.float64)
+            if margins.shape[0] != n:
+                raise ValueError(
+                    "checkpoint margins cover a different instance set "
+                    f"({margins.shape[0]} rows vs {n} training rows)"
+                )
+            history = state["history"]
+            trace = state["trace"]
+            start_tree = state["next_tree"]
+            if valid_margins is not None:
+                if state["valid_margins"] is None:
+                    raise ValueError(
+                        "checkpoint has no validation margins but a "
+                        "validation set was passed to the resumed run"
+                    )
+                valid_margins = np.asarray(
+                    state["valid_margins"], dtype=np.float64
+                )
+            if self.registry is not None:
+                self.registry.inc("fed.checkpoint.resumed")
+
+        for t in range(start_tree, params.n_trees):
             gradients, hessians = self.loss.gradients(labels, margins)
             tree, tree_trace = self._train_tree(
                 t,
@@ -302,6 +439,32 @@ class FederatedTrainer:
                 except ValueError:
                     record.valid_auc = None
             history.append(record)
+            checkpoint_path = None
+            if checkpoint_dir is not None:
+                import os
+
+                from repro.core.serialization import save_checkpoint
+
+                checkpoint_path = save_checkpoint(
+                    os.path.join(checkpoint_dir, f"ckpt_tree{t + 1:04d}.json"),
+                    config=self.config,
+                    model=model,
+                    margins=margins,
+                    history=history,
+                    trace=trace,
+                    next_tree=t + 1,
+                    valid_margins=valid_margins,
+                )
+                if self.registry is not None:
+                    self.registry.inc("fed.checkpoint.written")
+            if (
+                fault_plan is not None
+                and fault_plan.crashes_after(t)
+                and t + 1 < params.n_trees
+            ):
+                if self.registry is not None:
+                    self.registry.inc("fed.faults.crashes")
+                raise TrainingInterrupted(checkpoint_path, t + 1)
         crypto_stats: dict[int, OpStats] = {}
         if context is not None:
             crypto_stats[ACTIVE] = context.stats.snapshot()
@@ -314,6 +477,9 @@ class FederatedTrainer:
             channel=channel,
             crypto_stats=crypto_stats,
             profile=self.profiler.summary() if self.profiler else {},
+            faults=(
+                channel.summary() if isinstance(channel, ReliableChannel) else {}
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -65,9 +65,22 @@ def pack_capacity(public_key: PaillierPublicKey, limb_bits: int = DEFAULT_LIMB_B
     carry a full ``limb_bits`` of magnitude without colliding with the
     negative encoding range (we require the packed plaintext to stay
     below ``max_int`` ~ ``n/3``).
+
+    Raises:
+        ValueError: when not even one ``limb_bits``-bit limb fits the
+            key's plaintext space — packing with such a key would
+            silently overflow into the negative encoding range.
     """
     usable = public_key.max_int.bit_length() - 1
-    return max(1, usable // limb_bits)
+    capacity = usable // limb_bits
+    if capacity < 1:
+        raise ValueError(
+            "key too small to pack any limb: "
+            f"{public_key.key_bits}-bit key leaves {usable} usable "
+            f"plaintext bits, fewer than one {limb_bits}-bit limb; "
+            "use a larger key or a narrower limb_bits"
+        )
+    return capacity
 
 
 def pack_ciphers(

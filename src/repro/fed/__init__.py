@@ -1,8 +1,11 @@
-"""Federation substrate: messages, channels, clusters, event simulation."""
+"""Federation substrate: messages, channels, clusters, event simulation,
+fault injection, and reliable delivery."""
 
 from repro.fed.channel import ChannelStats, PrivacyViolation, RecordingChannel
 from repro.fed.cluster import PAPER_CLUSTER, ClusterSpec
+from repro.fed.faults import FaultPlan, FaultyEngine, LaneSlowdown, PauseWindow
 from repro.fed.messages import (
+    Ack,
     CountedCipherPayload,
     DirtyNodeNotice,
     EncryptedGradHessBatch,
@@ -18,22 +21,34 @@ from repro.fed.messages import (
     SplitQuery,
     cipher_bytes,
 )
+from repro.fed.reliable import DeliveryError, FaultEvent, ReliableChannel
+from repro.fed.retry import PartyHealth, RetryPolicy
 from repro.fed.simtime import Resource, SimEngine, SimTask
 
 __all__ = [
     "PAPER_CLUSTER",
+    "Ack",
     "ChannelStats",
     "ClusterSpec",
     "CountedCipherPayload",
+    "DeliveryError",
     "DirtyNodeNotice",
     "EncryptedGradHessBatch",
     "EncryptedHistogramMessage",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyEngine",
     "InstancePlacement",
+    "LaneSlowdown",
     "LeafWeightBroadcast",
     "Message",
     "PackedHistogramMessage",
+    "PartyHealth",
+    "PauseWindow",
     "PrivacyViolation",
+    "ReliableChannel",
     "Resource",
+    "RetryPolicy",
     "RouteAnswer",
     "RouteQuery",
     "SimEngine",

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.fed.messages import (
+    Ack,
     DirtyNodeNotice,
     EncryptedGradHessBatch,
     EncryptedHistogramMessage,
@@ -150,6 +151,9 @@ class RecordingChannel:
         RouteQueryBatch,
         RouteAnswerBatch,
         LeafWeightBroadcast,
+        # Transport metadata only: an Ack echoes a sequence number and a
+        # type name the receiver already saw; no model or label content.
+        Ack,
     )
 
     def __init__(

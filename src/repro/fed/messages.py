@@ -20,6 +20,7 @@ from repro.crypto.packing import PackedCipher
 
 __all__ = [
     "Message",
+    "Ack",
     "CountedCipherPayload",
     "EncryptedGradHessBatch",
     "EncryptedHistogramMessage",
@@ -44,10 +45,17 @@ def cipher_bytes(key_bits: int) -> int:
 
 @dataclass
 class Message:
-    """Base class: sender/receiver party ids plus wire accounting."""
+    """Base class: sender/receiver party ids plus wire accounting.
+
+    ``seq`` is the per-(sender, receiver) sequence number the reliable
+    delivery layer (:mod:`repro.fed.reliable`) stamps on every message
+    so receivers can deduplicate retransmissions; -1 means the message
+    never crossed a fault-injected channel.
+    """
 
     sender: int
     receiver: int
+    seq: int = -1
 
     def payload_bytes(self, key_bits: int) -> int:
         """Serialized size in bytes."""
@@ -299,6 +307,23 @@ class RouteAnswerBatch(Message):
 
     def __len__(self) -> int:
         return len(self.items)
+
+
+@dataclass
+class Ack(Message):
+    """Delivery acknowledgement of the reliable channel (ARQ layer).
+
+    Carries only the acknowledged sequence number and message type name
+    — pure transport metadata with no model- or label-derived content,
+    which is why it may legally travel in plaintext toward any party.
+    """
+
+    acked_seq: int = -1
+    acked_type: str = ""
+
+    def payload_bytes(self, key_bits: int) -> int:
+        # 8B seq + 4B type tag.
+        return 12
 
 
 @dataclass

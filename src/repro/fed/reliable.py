@@ -1,0 +1,346 @@
+"""Exactly-once delivery over a fault-injected channel (stop-and-wait ARQ).
+
+:class:`ReliableChannel` wraps a
+:class:`~repro.fed.channel.RecordingChannel` and makes training survive
+a :class:`~repro.fed.faults.FaultPlan`:
+
+* every message gets a per-(sender, receiver) **sequence number**;
+* each transmission waits for a delivery :class:`~repro.fed.messages.Ack`
+  with a per-attempt timeout; lost transmissions (or lost acks, or a
+  receiver inside a pause window) trigger a **resend** after the
+  :class:`~repro.fed.retry.RetryPolicy` backoff;
+* the receive side **deduplicates** by sequence number, so duplicated
+  or needlessly-retransmitted messages are applied exactly once — an
+  encrypted histogram can never double-accumulate.
+
+Delivery is simulated synchronously: a single ``send`` call plays out
+the whole ARQ exchange against the plan's deterministic decisions, and
+``clock`` accumulates only the *fault-induced* waiting (timeouts,
+backoffs, delays) — the recovery cost the bench gate tracks.  Every
+physical transmission, duplicate, and ack flows through the inner
+channel's ``send``, so the byte ledger prices retransmission overhead;
+bytes of transmissions lost in flight are accounted separately under
+``fed.faults.dropped_bytes``.
+
+With no plan (or a null plan) the wrapper is a strict pass-through:
+no sequence numbers, no acks, no extra bytes — the golden op-count
+guard sees a byte-identical fault-free run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.fed.channel import RecordingChannel
+from repro.fed.faults import FaultPlan
+from repro.fed.messages import Ack, Message
+from repro.fed.retry import RetryPolicy
+
+__all__ = ["DeliveryError", "FaultEvent", "ReliableChannel"]
+
+
+class DeliveryError(RuntimeError):
+    """No transmission of a message survived the retry budget."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One observed fault or recovery action, on the recovery clock.
+
+    Attributes:
+        kind: ``"drop"``, ``"duplicate"``, ``"delay"``, ``"ack_drop"``,
+            ``"pause_wait"``, ``"resend"``, or ``"delivery_failure"``.
+        time: recovery-clock seconds when the event occurred.
+        duration: seconds of recovery time the event cost (0 for
+            events that cost bytes, not time — e.g. duplicates).
+        sender / receiver: message direction.
+        seq: sequence number of the affected message.
+        attempt: 0-based transmission attempt the event hit.
+        message_type: class name of the affected message.
+    """
+
+    kind: str
+    time: float
+    duration: float
+    sender: int
+    receiver: int
+    seq: int
+    attempt: int
+    message_type: str
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (RunReport, trace export)."""
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "duration": self.duration,
+            "sender": self.sender,
+            "receiver": self.receiver,
+            "seq": self.seq,
+            "attempt": self.attempt,
+            "message_type": self.message_type,
+        }
+
+
+@dataclass
+class _Counters:
+    """Fault/recovery tallies mirrored into the metrics registry."""
+
+    drops: int = 0
+    duplicates: int = 0
+    delays: int = 0
+    ack_drops: int = 0
+    pause_waits: int = 0
+    resends: int = 0
+    acks: int = 0
+    dedupe_dropped: int = 0
+    delivery_failures: int = 0
+    dropped_bytes: int = 0
+
+
+class ReliableChannel:
+    """ARQ wrapper giving a faulty channel exactly-once semantics.
+
+    Args:
+        inner: the recording channel that owns queues and byte ledgers.
+        plan: fault schedule; ``None`` (or a null plan) selects the
+            pass-through fast path.
+        policy: timeout/retry knobs; defaults to :class:`RetryPolicy`'s
+            defaults.
+        registry: metrics registry for ``fed.*`` counters; falls back
+            to the inner channel's registry.
+
+    Unknown attributes delegate to the inner channel, so report
+    builders consuming ``stats`` / ``stats_report()`` / ``key_bits``
+    work on either layer.
+    """
+
+    def __init__(
+        self,
+        inner: RecordingChannel,
+        plan: FaultPlan | None = None,
+        policy: RetryPolicy | None = None,
+        registry=None,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan if plan is not None and not plan.is_null else None
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.registry = registry if registry is not None else inner.registry
+        self.clock = 0.0
+        self.events: list[FaultEvent] = []
+        self.counters = _Counters()
+        self._next_seq: dict[tuple[int, int], int] = defaultdict(int)
+        self._applied: dict[tuple[int, int], set[int]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    # Send side
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Deliver ``message`` exactly once, replaying the fault plan.
+
+        Raises:
+            DeliveryError: when every transmission attempt was lost
+                (the plan is not survivable under the retry policy).
+        """
+        if self.plan is None:
+            self.inner.send(message)
+            return
+
+        plan, policy = self.plan, self.policy
+        direction = (message.sender, message.receiver)
+        seq = self._next_seq[direction]
+        self._next_seq[direction] = seq + 1
+        message.seq = seq
+        type_name = type(message).__name__
+        delivered = False
+
+        for attempt in range(policy.max_retries + 1):
+            if attempt > 0:
+                backoff = policy.backoff(attempt)
+                self._event(
+                    "resend", backoff, message, attempt, count="resends"
+                )
+            window = plan.paused_at(message.receiver, self.clock)
+            if window is not None:
+                # Receiver is down: the transmission cannot land; wait
+                # out the timeout (but never past the window end, after
+                # which the next attempt can succeed).
+                wait = min(policy.timeout, window.end - self.clock)
+                self._event(
+                    "pause_wait", wait, message, attempt, count="pause_waits"
+                )
+                continue
+            if plan.drops_message(
+                message.sender, message.receiver, seq, attempt
+            ):
+                self.counters.dropped_bytes += message.payload_bytes(
+                    self.inner.key_bits
+                )
+                self._inc("fed.faults.dropped_bytes",
+                          message.payload_bytes(self.inner.key_bits))
+                self._event(
+                    "drop", policy.timeout, message, attempt, count="drops"
+                )
+                continue
+            delay = plan.delay_of_message(
+                message.sender, message.receiver, seq, attempt
+            )
+            if delay > 0:
+                self._event("delay", delay, message, attempt, count="delays")
+            self.inner.send(message)
+            delivered = True
+            if plan.duplicates_message(
+                message.sender, message.receiver, seq, attempt
+            ):
+                # The network delivers a second copy: real wire bytes,
+                # absorbed later by receive-side dedupe.
+                self.inner.send(message)
+                self._event(
+                    "duplicate", 0.0, message, attempt, count="duplicates"
+                )
+            if plan.drops_ack(message.sender, message.receiver, seq, attempt):
+                # Message arrived but the sender cannot know: it waits
+                # out the timeout and resends; dedupe keeps the state
+                # exactly-once.
+                self._event(
+                    "ack_drop", policy.timeout, message, attempt,
+                    count="ack_drops",
+                )
+                continue
+            self._send_ack(message, seq, type_name)
+            return
+
+        if delivered:
+            # Every ack was lost but at least one copy landed; the
+            # protocol's own forward progress confirms delivery.
+            return
+        self.counters.delivery_failures += 1
+        self._inc("fed.delivery.failures")
+        self.events.append(
+            FaultEvent(
+                kind="delivery_failure",
+                time=self.clock,
+                duration=0.0,
+                sender=message.sender,
+                receiver=message.receiver,
+                seq=seq,
+                attempt=policy.max_retries,
+                message_type=type_name,
+            )
+        )
+        raise DeliveryError(
+            f"{type_name} seq={seq} from {message.sender} to "
+            f"{message.receiver} lost on all {policy.max_retries + 1} "
+            "attempts; raise max_retries or lower the fault rates"
+        )
+
+    def _send_ack(self, message: Message, seq: int, type_name: str) -> None:
+        """Return the delivery ack through the accounted channel."""
+        self.inner.send(
+            Ack(
+                sender=message.receiver,
+                receiver=message.sender,
+                acked_seq=seq,
+                acked_type=type_name,
+            )
+        )
+        self.counters.acks += 1
+        self._inc("fed.acks")
+
+    def _event(
+        self,
+        kind: str,
+        duration: float,
+        message: Message,
+        attempt: int,
+        count: str,
+    ) -> None:
+        """Record one fault event, advance the recovery clock, count it."""
+        self.events.append(
+            FaultEvent(
+                kind=kind,
+                time=self.clock,
+                duration=duration,
+                sender=message.sender,
+                receiver=message.receiver,
+                seq=message.seq,
+                attempt=attempt,
+                message_type=type(message).__name__,
+            )
+        )
+        self.clock += duration
+        setattr(self.counters, count, getattr(self.counters, count) + 1)
+        prefix = "fed.retry" if count == "resends" else "fed.faults"
+        self._inc(f"{prefix}.{count}")
+
+    def _inc(self, name: str, value: int = 1) -> None:
+        if self.registry is not None:
+            self.registry.inc(name, value)
+
+    # ------------------------------------------------------------------
+    # Receive side
+    # ------------------------------------------------------------------
+    def receive(self, sender: int, receiver: int) -> Message:
+        """Next application message of a direction, exactly once.
+
+        Transport acks are skipped; retransmitted or duplicated
+        messages whose sequence number was already applied are counted
+        under ``fed.dedupe.dropped`` and never surface twice.
+
+        Raises:
+            LookupError: when no (new) application message is pending.
+        """
+        while True:
+            message = self.inner.receive(sender, receiver)
+            if self._applies(message):
+                return message
+
+    def receive_all(self, sender: int, receiver: int) -> list[Message]:
+        """Drain a direction, deduplicated, acks filtered out."""
+        return [
+            message
+            for message in self.inner.receive_all(sender, receiver)
+            if self._applies(message)
+        ]
+
+    def _applies(self, message: Message) -> bool:
+        """Whether a dequeued message should reach the application."""
+        if isinstance(message, Ack):
+            return False
+        if message.seq < 0:
+            return True
+        applied = self._applied[(message.sender, message.receiver)]
+        if message.seq in applied:
+            self.counters.dedupe_dropped += 1
+            self._inc("fed.dedupe.dropped")
+            return False
+        applied.add(message.seq)
+        return True
+
+    # ------------------------------------------------------------------
+    # Reporting / delegation
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """JSON-ready fault/recovery summary (``faults`` in RunReport)."""
+        counters = self.counters
+        return {
+            "plan": self.plan.to_dict() if self.plan is not None else None,
+            "recovery_seconds": self.clock,
+            "drops": counters.drops,
+            "duplicates": counters.duplicates,
+            "delays": counters.delays,
+            "ack_drops": counters.ack_drops,
+            "pause_waits": counters.pause_waits,
+            "resends": counters.resends,
+            "acks": counters.acks,
+            "dedupe_dropped": counters.dedupe_dropped,
+            "delivery_failures": counters.delivery_failures,
+            "dropped_bytes": counters.dropped_bytes,
+            "events": len(self.events),
+        }
+
+    def __getattr__(self, name: str):
+        # Everything not overridden (stats, by_type, key_bits, log,
+        # total_bytes, stats_report, ...) behaves like the inner channel.
+        return getattr(self.inner, name)

@@ -141,6 +141,7 @@ class SimEngine:
         """
         if duration < 0:
             raise ValueError("duration must be non-negative")
+        duration = self._adjust_duration(resource_name, duration)
         resource = self.resource(resource_name)
         ready = not_before
         for dep in deps or ():
@@ -148,6 +149,7 @@ class SimEngine:
                 ready = dep.end
         lane = resource.earliest_lane()
         start = max(ready, resource.free_at(lane))
+        start = max(start, self._adjust_start(resource_name, start))
         end = resource.reserve(lane, start, duration)
         task = SimTask(
             name=name or phase,
@@ -161,6 +163,14 @@ class SimEngine:
         )
         self.tasks.append(task)
         return task
+
+    # Perturbation hooks — no-ops here; FaultyEngine (repro.fed.faults)
+    # overrides them to model stragglers and party pause windows.
+    def _adjust_duration(self, resource_name: str, duration: float) -> float:
+        return duration
+
+    def _adjust_start(self, resource_name: str, start: float) -> float:
+        return start
 
     def submit_parallel(
         self,

@@ -65,8 +65,18 @@ class Histogram:
         """Number of instances on the node."""
         return int(self.count[0].sum()) if self.n_features else 0
 
+    def _check_shape(self, other: "Histogram", op: str) -> None:
+        if self.grad.shape != other.grad.shape:
+            raise ValueError(
+                f"cannot {op} histograms of different shapes: "
+                f"{self.grad.shape} vs {other.grad.shape} — operands "
+                "must cover the same (feature, bin) grid (broadcasting "
+                "here would silently corrupt split statistics)"
+            )
+
     def subtract(self, child: "Histogram") -> "Histogram":
         """Histogram subtraction: ``self - child`` gives the sibling."""
+        self._check_shape(child, "subtract")
         return Histogram(
             self.grad - child.grad,
             self.hess - child.hess,
@@ -75,6 +85,7 @@ class Histogram:
 
     def merge(self, other: "Histogram") -> "Histogram":
         """Aggregate two partial histograms (worker-shard aggregation)."""
+        self._check_shape(other, "merge")
         return Histogram(
             self.grad + other.grad,
             self.hess + other.hess,

@@ -27,9 +27,11 @@ __all__ = ["RunReport", "channel_report"]
 
 #: schema version for saved report files; version 2 added the
 #: ``profile`` (hot-path profiler summary) and ``artifacts`` (paths of
-#: sidecar files such as SLO event logs) fields — both optional with
-#: empty defaults, so version-1 files load unchanged.
-REPORT_VERSION = 2
+#: sidecar files such as SLO event logs) fields; version 3 added the
+#: ``faults`` field (fault-injection / recovery summary of a reliable
+#: channel).  All optional with empty defaults, so older files load
+#: unchanged.
+REPORT_VERSION = 3
 
 
 def channel_report(channel) -> dict:
@@ -82,6 +84,10 @@ class RunReport:
             was profiled.
         artifacts: sidecar file paths keyed by kind (e.g. the serve
             SLO watcher's JSONL event log under ``"events"``).
+        faults: a :meth:`~repro.fed.reliable.ReliableChannel.summary`
+            (fault plan, drop/resend/dedupe tallies, recovery-clock
+            seconds) when the run trained over a fault-injected
+            channel.  Empty on fault-free runs.
     """
 
     kind: str
@@ -95,6 +101,7 @@ class RunReport:
     spans: list = field(default_factory=list)
     profile: dict = field(default_factory=dict)
     artifacts: dict = field(default_factory=dict)
+    faults: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-ready representation (includes the schema version)."""

@@ -8,7 +8,9 @@ mitigations:
 * :class:`RetryPolicy` — per-party timeout with capped exponential
   backoff.  Retried batches are *resent verbatim* (same items, new
   attempt number), so a retry costs one extra round trip and nothing
-  else.
+  else.  The policy (and :class:`PartyHealth`) now live in
+  :mod:`repro.fed.retry`, shared with the fault-tolerant training
+  path; this module re-exports them unchanged.
 * :class:`DegradedRouter` — when a party stays unresponsive past its
   retry budget (or the request's deadline), its nodes are routed by a
   precomputed *majority direction* and the prediction is flagged
@@ -29,73 +31,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.fed.retry import PartyHealth, RetryPolicy
+
 __all__ = ["RetryPolicy", "PartyHealth", "DegradedRouter", "majority_directions"]
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Timeout/retry knobs for one cross-party dependency.
-
-    Attributes:
-        timeout: seconds (simulated) to wait for a batch answer.
-        max_retries: resend attempts after the first try.
-        backoff_base: sleep before the first retry.
-        backoff_multiplier: growth factor per further retry.
-        backoff_cap: upper bound on any single backoff sleep.
-    """
-
-    timeout: float = 0.25
-    max_retries: int = 2
-    backoff_base: float = 0.05
-    backoff_multiplier: float = 2.0
-    backoff_cap: float = 1.0
-
-    def __post_init__(self) -> None:
-        if self.timeout <= 0:
-            raise ValueError("timeout must be positive")
-        if self.max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
-
-    def backoff(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (1-based)."""
-        if attempt < 1:
-            raise ValueError("attempt is 1-based")
-        return min(
-            self.backoff_cap,
-            self.backoff_base * self.backoff_multiplier ** (attempt - 1),
-        )
-
-    def worst_case_wait(self) -> float:
-        """Longest possible wait before a batch is declared dead."""
-        total = self.timeout
-        for attempt in range(1, self.max_retries + 1):
-            total += self.backoff(attempt) + self.timeout
-        return total
-
-
-@dataclass
-class PartyHealth:
-    """Rolling availability record of one passive party."""
-
-    party: int
-    successes: int = 0
-    timeouts: int = 0
-    consecutive_timeouts: int = 0
-
-    def record_success(self) -> None:
-        """An answer arrived within its deadline."""
-        self.successes += 1
-        self.consecutive_timeouts = 0
-
-    def record_timeout(self) -> None:
-        """An attempt expired without an answer."""
-        self.timeouts += 1
-        self.consecutive_timeouts += 1
-
-    @property
-    def suspect(self) -> bool:
-        """True once two attempts in a row have expired."""
-        return self.consecutive_timeouts >= 2
 
 
 def majority_directions(

@@ -1,0 +1,18 @@
+"""DET001/DET002 fixture: a fault schedule built from live nondeterminism.
+
+The anti-pattern :mod:`repro.fed.faults` exists to rule out — fault
+decisions drawn from the wall clock and an unseeded RNG instead of a
+pure hash of an explicit seed.  Such a schedule can never be replayed,
+so the bit-identity invariant would be unverifiable.
+"""
+
+import random
+import time
+
+
+def fresh_fault_seed():
+    return int(time.time())
+
+
+def should_drop(drop_rate):
+    return random.random() < drop_rate

@@ -99,6 +99,18 @@ class TestHistogramAlgebra:
         with pytest.raises(ValueError):
             Histogram(np.zeros((2, 3)), np.zeros((2, 3)), np.zeros((3, 2)))
 
+    def test_subtract_shape_mismatch_rejected(self):
+        # (3, 4) - (1, 4) would numpy-broadcast without the guard,
+        # silently corrupting sibling statistics.
+        big = Histogram.zeros(3, 4)
+        small = Histogram.zeros(1, 4)
+        with pytest.raises(ValueError, match="cannot subtract .*\\(3, 4\\).*\\(1, 4\\)"):
+            big.subtract(small)
+
+    def test_merge_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cannot merge"):
+            Histogram.zeros(2, 8).merge(Histogram.zeros(2, 6))
+
 
 class TestSplitFinding:
     params = GBDTParams(n_bins=8, reg_lambda=1.0, min_child_weight=1e-6)

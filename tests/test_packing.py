@@ -30,6 +30,21 @@ class TestPackCapacity:
         pub, _ = generate_keypair(2048, seed=6)
         assert pack_capacity(pub, 64) == 31  # one limb below n/3 headroom
 
+    def test_tiny_key_rejected(self):
+        # A 64-bit key leaves ~62 usable plaintext bits — not even one
+        # 64-bit limb. Packing would silently overflow; must raise.
+        from repro.crypto.paillier import generate_keypair
+
+        pub, _ = generate_keypair(64, seed=9)
+        with pytest.raises(ValueError, match="key too small to pack any limb"):
+            pack_capacity(pub, 64)
+
+    def test_tiny_key_ok_with_narrower_limb(self):
+        from repro.crypto.paillier import generate_keypair
+
+        pub, _ = generate_keypair(64, seed=9)
+        assert pack_capacity(pub, 16) >= 1
+
 
 class TestPackUnpack:
     @given(

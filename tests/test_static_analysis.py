@@ -37,6 +37,8 @@ EXPECTED_RULES = [
     ("DET001", "leakypkg/fed/clock.py"),
     ("DET002", "leakypkg/fed/clock.py"),
     ("DET003", "leakypkg/fed/clock.py"),
+    ("DET001", "leakypkg/fed/clockplan.py"),
+    ("DET002", "leakypkg/fed/clockplan.py"),
 ]
 
 
