@@ -41,7 +41,7 @@ def build_enterprises(seed: int = 7):
     index_bank = {cid: i for i, cid in enumerate(bank_ids)}
     index_platform = {cid: i for i, cid in enumerate(platform_ids)}
     labels = {}
-    for cid in set(bank_ids) & set(platform_ids):
+    for cid in sorted(set(bank_ids) & set(platform_ids)):
         score = (
             1.2 * bank_features[index_bank[cid], 0]
             - 0.8 * bank_features[index_bank[cid], 1]

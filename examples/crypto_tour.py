@@ -9,6 +9,9 @@ Demonstrates, with real arithmetic:
 
 Run:  python examples/crypto_tour.py
 """
+# This tour *measures* the crypto primitives on the host by design;
+# its wall-clock reads never feed simulated time.
+# repro: allow-file[DET001]
 
 import random
 import time

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from repro.analysis.findings import parse_suppressions
+from repro.analysis.findings import parse_comment_suppressions
 
 __all__ = [
     "ModuleInfo",
@@ -164,6 +164,9 @@ class PackageIndex:
         self.functions: dict[str, FunctionInfo] = {}
         #: bare function name -> every definition with that name
         self.by_bare_name: dict[str, list[FunctionInfo]] = {}
+        #: ``(relpath, line, message)`` of files that failed to parse;
+        #: the CLI reports each as a ``SYN001`` finding instead of dying.
+        self.parse_errors: list[tuple[str, int, str]] = []
         self._load()
 
     def _load(self) -> None:
@@ -172,7 +175,17 @@ class PackageIndex:
             if any(part == "__pycache__" for part in rel.parts):
                 continue
             source = path.read_text()
-            tree = ast.parse(source, filename=str(path))
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                self.parse_errors.append(
+                    (
+                        str(Path(self.package) / rel),
+                        exc.lineno or 0,
+                        exc.msg or "syntax error",
+                    )
+                )
+                continue
             parts = list(rel.with_suffix("").parts)
             if parts[-1] == "__init__":
                 parts = parts[:-1]
@@ -183,7 +196,7 @@ class PackageIndex:
                 relpath=str(Path(self.package) / rel),
                 tree=tree,
                 source_lines=source.splitlines(),
-                suppressions=parse_suppressions(source.splitlines()),
+                suppressions=parse_comment_suppressions(source),
                 imports=_collect_imports(tree),
             )
             self.modules[name] = module

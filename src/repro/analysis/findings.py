@@ -27,8 +27,10 @@ baseline at all.
 
 from __future__ import annotations
 
+import io
 import json
 import re
+import tokenize
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -39,15 +41,19 @@ __all__ = [
     "Reporter",
     "Baseline",
     "parse_suppressions",
+    "parse_comment_suppressions",
+    "audit_suppressions",
     "SUPPRESSION_RE",
     "FILE_SUPPRESSION_RE",
     "FILE_WIDE",
 ]
 
-#: ``# repro: allow[PB001]`` / ``# repro: allow[PB001, DET002]`` / ``allow[*]``
+#: hash-comment form of ``repro: allow[PB001]`` (one or more rule ids,
+#: comma-separated; ``*`` for any rule)
 SUPPRESSION_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
 
-#: ``# repro: allow-file[DET001]`` — whole-file suppression for a rule.
+#: hash-comment form of ``repro: allow-file[DET001]`` — whole-file
+#: suppression for a rule.
 FILE_SUPPRESSION_RE = re.compile(r"#\s*repro:\s*allow-file\[([A-Za-z0-9_*,\s]+)\]")
 
 #: pseudo line number under which file-level suppressions are stored
@@ -121,12 +127,42 @@ def parse_suppressions(source_lines: list[str]) -> dict[int, set[str]]:
             if rules:
                 allowed.setdefault(FILE_WIDE, set()).update(rules)
             continue
-        match = SUPPRESSION_RE.search(text)
-        if match is None:
+        # A line may carry several allow comments (e.g. a test appending
+        # allow[SUP001] after an existing allow): union them all.
+        for match in SUPPRESSION_RE.finditer(text):
+            rules = _parse_rules(match.group(1))
+            if rules:
+                allowed.setdefault(lineno, set()).update(rules)
+    return allowed
+
+
+def parse_comment_suppressions(source: str) -> dict[int, set[str]]:
+    """Like :func:`parse_suppressions`, but only over *real* comments.
+
+    Tokenizes the source so suppression syntax quoted inside docstrings
+    or string literals (the analyzer's own documentation, test data) is
+    not honored — and therefore never audited as unused.  Falls back to
+    the line-based parse when the file does not tokenize (it then also
+    fails :func:`ast.parse` and surfaces as ``SYN001``).
+    """
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return parse_suppressions(source.splitlines())
+    allowed: dict[int, set[str]] = {}
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
             continue
-        rules = _parse_rules(match.group(1))
-        if rules:
-            allowed[lineno] = rules
+        file_match = FILE_SUPPRESSION_RE.search(token.string)
+        if file_match is not None:
+            rules = _parse_rules(file_match.group(1))
+            if rules:
+                allowed.setdefault(FILE_WIDE, set()).update(rules)
+            continue
+        for match in SUPPRESSION_RE.finditer(token.string):
+            rules = _parse_rules(match.group(1))
+            if rules:
+                allowed.setdefault(token.start[0], set()).update(rules)
     return allowed
 
 
@@ -141,6 +177,10 @@ class Reporter:
 
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
+    #: ``(file, allow-comment line, rule id)`` of every suppression that
+    #: actually silenced a finding — the input of :func:`audit_suppressions`.
+    #: File-wide allows record under line :data:`FILE_WIDE`.
+    used_suppressions: set[tuple[str, int, str]] = field(default_factory=set)
 
     def emit(
         self,
@@ -160,6 +200,9 @@ class Reporter:
             file_rules = suppressions.get(FILE_WIDE)
             if file_rules and (finding.rule_id in file_rules or "*" in file_rules):
                 self.suppressed.append(finding)
+                self.used_suppressions.add(
+                    (finding.file, FILE_WIDE, finding.rule_id)
+                )
                 return
             first, last = span if span is not None else (finding.line, finding.line)
             # The line above a statement hosts standalone allow comments.
@@ -167,6 +210,7 @@ class Reporter:
                 rules = suppressions.get(lineno)
                 if rules and (finding.rule_id in rules or "*" in rules):
                     self.suppressed.append(finding)
+                    self.used_suppressions.add((finding.file, lineno, finding.rule_id))
                     return
         self.findings.append(finding)
 
@@ -174,17 +218,78 @@ class Reporter:
         """Merge another reporter's findings into this one."""
         self.findings.extend(other.findings)
         self.suppressed.extend(other.suppressed)
+        self.used_suppressions |= other.used_suppressions
 
     def sorted_findings(self) -> list[Finding]:
-        """Findings ordered by severity, then file, then line."""
+        """Findings in a deterministic order: severity, file, line, rule,
+        then message (the full tie-break keeps runs byte-identical even
+        when one line hosts several findings of one rule)."""
         return sorted(
             self.findings,
-            key=lambda f: (Severity.ORDER.get(f.severity, 9), f.file, f.line, f.rule_id),
+            key=lambda f: (
+                Severity.ORDER.get(f.severity, 9),
+                f.file,
+                f.line,
+                f.rule_id,
+                f.message,
+            ),
         )
 
     def counts_by_rule(self) -> Counter:
         """Histogram of finding counts per rule id."""
         return Counter(f.rule_id for f in self.findings)
+
+
+def audit_suppressions(modules, reporter: Reporter) -> Reporter:
+    """``SUP001``: flag ``allow`` comments whose rule never fired (warning).
+
+    Keeps the suppression inventory honest: a fixed bug whose ``allow``
+    outlived it, or a typo'd rule id, would otherwise silently widen the
+    blind spot.  Runs after every other pass over the same modules.
+
+    Args:
+        modules: module-shaped objects (``relpath`` / ``suppressions``
+            attributes — :class:`repro.analysis.astutils.ModuleInfo`).
+        reporter: the merged reporter of all prior passes; its
+            :attr:`Reporter.used_suppressions` says which allows fired.
+
+    Notes:
+        * ``allow[*]`` counts as used when *any* rule was silenced on
+          its line.
+        * ``allow[SUP001]`` is never itself reported as unused — the
+          audit cannot observe its own output without a fixpoint.
+    """
+    audit = Reporter()
+    used = reporter.used_suppressions
+    for module in modules:
+        file = module.relpath
+        used_lines = {line for (f, line, _) in used if f == file}
+        for line, rules in sorted(module.suppressions.items()):
+            for rule in sorted(rules):
+                if rule == "SUP001":
+                    continue
+                if rule == "*":
+                    if line in used_lines:
+                        continue
+                elif (file, line, rule) in used:
+                    continue
+                where = "file-wide allow" if line == FILE_WIDE else "allow"
+                audit.emit(
+                    Finding(
+                        rule_id="SUP001",
+                        severity=Severity.WARNING,
+                        file=file,
+                        line=line,
+                        message=(
+                            f"unused suppression: {where}[{rule}] never "
+                            "silenced a finding; remove the comment or fix "
+                            "the rule id"
+                        ),
+                        checker="suppression-audit",
+                    ),
+                    module.suppressions,
+                )
+    return audit
 
 
 class Baseline:

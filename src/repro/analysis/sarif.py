@@ -1,0 +1,81 @@
+"""SARIF 2.1.0 rendering of analyzer findings.
+
+One static analysis log format understood by code-scanning UIs (GitHub,
+VS Code SARIF viewers, ...) — ``python -m repro.analysis --format
+sarif`` emits it so the tier-1 gate's findings can be ingested without
+a bespoke parser.  Only the core slice of the spec is produced: one
+``run`` with a ``tool.driver`` rule table and one ``result`` per
+finding.  Findings anchored to synthetic locations (schedule graphs,
+artifacts — line 0) omit the ``region`` since SARIF requires
+``startLine >= 1``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: analyzer severity -> SARIF result level
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptor(finding: Finding) -> dict:
+    return {
+        "id": finding.rule_id,
+        "name": finding.rule_id,
+        "properties": {"checker": finding.checker},
+    }
+
+
+def _result(finding: Finding) -> dict:
+    location: dict = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": finding.file},
+        }
+    }
+    if finding.line >= 1:
+        location["physicalLocation"]["region"] = {"startLine": finding.line}
+    return {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [location],
+    }
+
+
+def render_sarif(
+    findings: Iterable[Finding], tool_version: str = "2"
+) -> str:
+    """Render findings as a SARIF 2.1.0 JSON document (string)."""
+    ordered = list(findings)
+    rules: dict[str, dict] = {}
+    for finding in ordered:
+        rules.setdefault(finding.rule_id, _rule_descriptor(finding))
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "version": tool_version,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": [rules[k] for k in sorted(rules)],
+                    }
+                },
+                "results": [_result(f) for f in ordered],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

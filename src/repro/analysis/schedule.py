@@ -31,7 +31,7 @@ from typing import Iterable, Sequence
 
 from repro.analysis.findings import Finding, Reporter, Severity
 
-__all__ = ["validate_task_graph", "self_check"]
+__all__ = ["validate_task_graph", "iter_self_check_graphs", "self_check"]
 
 #: float-comparison slack for interval overlap, in simulated seconds
 _EPS = 1e-9
@@ -169,10 +169,14 @@ def validate_task_graph(
     return findings
 
 
-def self_check(n_trees: int = 2) -> Reporter:
-    """Run every protocol variant on a small analytic trace and validate.
+def iter_self_check_graphs(n_trees: int = 2):
+    """Yield ``(label, fault_plan, task_graph)`` for every self-check run.
 
-    Imported lazily so the purely-static checkers stay import-light.
+    One analytic trace, every protocol variant, fault-free and
+    fault-injected — the shared graph source of both the structural
+    validator (:func:`self_check`) and the race detector
+    (:func:`repro.analysis.races.self_check`).  Imported lazily so the
+    purely-static checkers stay import-light.
     """
     from repro.bench.costmodel import CostModel
     from repro.core.config import VF2BoostConfig
@@ -181,7 +185,6 @@ def self_check(n_trees: int = 2) -> Reporter:
     from repro.fed.cluster import ClusterSpec
     from repro.fed.faults import FaultPlan, LaneSlowdown, PauseWindow
 
-    reporter = Reporter()
     trace = analytic_trace(
         n_instances=4096,
         features_active=16,
@@ -213,8 +216,13 @@ def self_check(n_trees: int = 2) -> Reporter:
         for suffix, plan in fault_plans.items():
             result = scheduler.schedule(trace, collect_tasks=True, fault_plan=plan)
             for tree_index, graph in enumerate(result.task_graphs):
-                for finding in validate_task_graph(
-                    graph, f"{label}{suffix}:tree{tree_index}", fault_plan=plan
-                ):
-                    reporter.emit(finding)
+                yield f"{label}{suffix}:tree{tree_index}", plan, graph
+
+
+def self_check(n_trees: int = 2) -> Reporter:
+    """Run every protocol variant on a small analytic trace and validate."""
+    reporter = Reporter()
+    for label, plan, graph in iter_self_check_graphs(n_trees):
+        for finding in validate_task_graph(graph, label, fault_plan=plan):
+            reporter.emit(finding)
     return reporter

@@ -38,7 +38,7 @@ from repro.fed.cluster import ClusterSpec
 from repro.fed.faults import FaultPlan, FaultyEngine
 from repro.fed.simtime import SimEngine, SimTask
 
-__all__ = ["ScheduleResult", "ProtocolScheduler"]
+__all__ = ["ScheduleResult", "ProtocolScheduler", "declared_effects"]
 
 #: cap on pipelined batch tasks per tree (engine efficiency, not semantics)
 _MAX_BATCH_TASKS = 128
@@ -330,6 +330,7 @@ class ProtocolScheduler:
                     deps=[enc_task],
                     name=f"gh[{b}]",
                     phase="CipherComm",
+                    party=party.index,
                 )
                 build_work = stat * n * party.d * self._add_cost(n_exponents) / n_batches
                 build_root[party.index] = engine.submit(
@@ -338,6 +339,7 @@ class ProtocolScheduler:
                     deps=[comm],
                     name=f"hist0[{b}]",
                     phase="BuildHistA",
+                    party=party.index,
                 )
         bytes_sent += gh_bytes * len(parties)
         for party in parties:
@@ -349,6 +351,7 @@ class ProtocolScheduler:
                     deps=[build_root[party.index]],
                     name="merge0",
                     phase="BuildHistA",
+                    party=party.index,
                 )
         root_breakdown = {
             "Enc": enc_work / lanes,
@@ -417,6 +420,7 @@ class ProtocolScheduler:
                         deps=[split_opt],
                         name=f"optplace{layer.depth}",
                         phase="SplitNode",
+                        party=party.index,
                     )
                 bytes_sent += layer_instances / 8 * len(parties)
 
@@ -433,7 +437,7 @@ class ProtocolScheduler:
                     if self._packing_on()
                     else n_nodes * self._bins(party)
                 )
-                for part in hist_parts[party.index]:
+                for pi, part in enumerate(hist_parts[party.index]):
                     frac = part.fraction
                     ready = part.task
                     # Intra-party histogram aggregation across worker
@@ -456,8 +460,9 @@ class ProtocolScheduler:
                             f"A{party.index}",
                             agg_seconds,
                             deps=[ready],
-                            name=f"agg{layer.depth}",
+                            name=f"agg{layer.depth}.{pi}",
                             phase="Aggregate",
+                            party=party.index,
                         )
                     if self._packing_on():
                         pack_work = (
@@ -470,16 +475,18 @@ class ProtocolScheduler:
                             f"A{party.index}",
                             pack_work / lanes,
                             deps=[ready],
-                            name=f"pack{layer.depth}",
+                            name=f"pack{layer.depth}.{pi}",
                             phase="Pack",
+                            party=party.index,
                         )
                     part_bytes = ciphers_full * frac * cipher_bytes
                     comm = engine.submit(
                         "wan.in",
                         self._comm_duration(part_bytes),
                         deps=[ready],
-                        name=f"histcomm{layer.depth}",
+                        name=f"histcomm{layer.depth}.{pi}",
                         phase="CipherComm",
+                        party=party.index,
                     )
                     bytes_sent += part_bytes
                     dec_work = ciphers_full * frac * self._dec_cost() + (
@@ -492,8 +499,9 @@ class ProtocolScheduler:
                             "B.dec",
                             dec_work * share / lanes,
                             deps=[prev],
-                            name=f"findA{layer.depth}",
+                            name=f"findA{layer.depth}.{pi}",
                             phase="FindSplitA",
+                            party=party.index,
                         )
                         if notice_anchor is None:
                             notice_anchor = prev
@@ -530,6 +538,7 @@ class ProtocolScheduler:
                             deps=[split_done],
                             name=f"fixplace{layer.depth}",
                             phase="SplitNode",
+                            party=party.index,
                         )
                         bytes_sent += dirty_bytes
                     placement_tasks[party.index] = opt_placement[party.index]
@@ -540,6 +549,7 @@ class ProtocolScheduler:
                         deps=[split_done],
                         name=f"place{layer.depth}",
                         phase="SplitNode",
+                        party=party.index,
                     )
                     bytes_sent += layer_instances / 8
                     placement_tasks[party.index] = task
@@ -572,6 +582,7 @@ class ProtocolScheduler:
                         deps=[placement_tasks[party.index]],
                         name=f"hist{next_layer.depth}c",
                         phase="BuildHistA",
+                        party=party.index,
                     )
                     if 1 - dirty_frac > 0:
                         parts.append(_HistPart(clean, 1 - dirty_frac))
@@ -591,6 +602,7 @@ class ProtocolScheduler:
                         deps=[placement_tasks[party.index]],
                         name=f"spec{next_layer.depth}",
                         phase="BuildHistA",
+                        party=party.index,
                     )
                     notice = engine.submit(
                         "wan.out",
@@ -598,6 +610,7 @@ class ProtocolScheduler:
                         deps=[notice_anchor],
                         name=f"dirty{layer.depth}",
                         phase="SplitNode",
+                        party=party.index,
                     )
                     if config.incremental_dirty_redo:
                         # §8 future work: move only the misplaced rows —
@@ -618,6 +631,7 @@ class ProtocolScheduler:
                         deps=[waste, notice],
                         name=f"redo{next_layer.depth}",
                         phase="BuildHistA",
+                        party=party.index,
                     )
                     parts.append(_HistPart(redo, dirty_frac))
                 else:
@@ -628,6 +642,7 @@ class ProtocolScheduler:
                         deps=[placement_tasks[party.index]],
                         name=f"hist{next_layer.depth}",
                         phase="BuildHistA",
+                        party=party.index,
                     )
                     parts.append(_HistPart(build, 1.0))
                 hist_parts[party.index] = parts
@@ -636,3 +651,150 @@ class ProtocolScheduler:
             max((task.end for task in build_root.values()), default=0.0)
         )
         return root_breakdown, bytes_sent
+
+
+# ----------------------------------------------------------------------
+# Declared task effects (race-detector input)
+# ----------------------------------------------------------------------
+#
+# Every task `_schedule_tree` submits declares the shared state it reads
+# and writes, as abstract location strings:
+#
+#   B.grad            Party B's plaintext gradient/label statistics
+#   B.gh#b{b}         encrypted <g,h> batch b, staged at B's gateway
+#   A{p}.gh#b{b}      the same batch landed at passive party p
+#   A{p}.hist[L{l}]#{q}   party p's cipher histograms of layer l, part q
+#                     (part 0 = clean / whole, part 1 = dirty redo)
+#   A{p}.packed[L{l}]#{q} the packed form of that part
+#   B.ahist[p{p},L{l}]#{q} the part landed at B, awaiting decryption
+#   B.cand[L{l}]      B's own split candidates
+#   B.acand[L{l}]     candidates decrypted from passive histograms
+#   B.opt[L{l}]       the optimistic split decision
+#   B.split[L{l}]     the joint (validated) split decision
+#   A{p}.place[L{l}]  instance placement shipped to party p
+#   A{p}.placefix[L{l}]  the dirty-rows placement correction
+#   A{p}.notice[L{l}] the dirty-node abort notice
+#   A{p}.spec[L{l}]   party p's speculative (wasted) histogram scratch
+#   wan.out.seq / wan.in.seq   per-direction channel sequence counters
+#
+# The race detector (`repro.analysis.races`) joins these footprints with
+# the happens-before relation (dependency edges plus per-lane FIFO
+# order) and reports any unordered overlap — the invariant that lets
+# future parallel crypto lanes land without nondeterministic
+# accumulation.  A task name the table cannot parse yields ``None``
+# (reported as SCH103 unless the task is a zero-duration anchor).
+
+import re as _re
+
+#: task-name shape: stem, optional layer digits, optional clean marker,
+#: optional ``.part`` suffix, optional ``[batch]`` suffix
+_TASK_NAME_RE = _re.compile(
+    r"^(?P<stem>[A-Za-z]+?)(?:(?P<layer>\d+)(?P<clean>c)?)?"
+    r"(?:\.(?P<part>\d+))?(?:\[(?P<batch>\d+)\])?$"
+)
+
+
+def declared_effects(task: SimTask) -> tuple[frozenset[str], frozenset[str]] | None:
+    """The declared ``(reads, writes)`` footprint of a scheduler task.
+
+    Derived from the task's name (stem + layer/part/batch indices) and
+    its ``party`` tag; returns ``None`` for names outside the
+    :class:`ProtocolScheduler` vocabulary.
+    """
+    match = _TASK_NAME_RE.match(task.name)
+    if match is None:
+        return None
+    stem = match.group("stem")
+    layer = match.group("layer")
+    lnum = int(layer) if layer is not None else None
+    part = match.group("part") or "0"
+    batch = match.group("batch")
+    p = task.party
+
+    def hist(l, q=part):
+        return f"A{p}.hist[L{l}]#{q}"
+
+    if stem == "enc" and batch is not None:
+        return frozenset({"B.grad"}), frozenset({f"B.gh#b{batch}"})
+    if stem == "encdone":
+        return frozenset(), frozenset()
+    if stem == "gh" and batch is not None and p is not None:
+        return (
+            frozenset({f"B.gh#b{batch}"}),
+            frozenset({f"A{p}.gh#b{batch}", "wan.out.seq"}),
+        )
+    if stem == "hist" and batch is not None and p is not None:
+        # root build: one task per blaster batch, all filling part 0
+        return frozenset({f"A{p}.gh#b{batch}"}), frozenset({hist(0, "0")})
+    if stem == "merge" and lnum is not None and p is not None:
+        return frozenset({hist(lnum, "0")}), frozenset({hist(lnum, "0")})
+    if stem == "findB" and lnum is not None:
+        reads = {"B.grad"} if lnum == 0 else {f"B.split[L{lnum - 1}]"}
+        return frozenset(reads), frozenset({f"B.cand[L{lnum}]"})
+    if stem == "opt" and lnum is not None:
+        return frozenset({f"B.cand[L{lnum}]"}), frozenset({f"B.opt[L{lnum}]"})
+    if stem == "optplace" and lnum is not None and p is not None:
+        return (
+            frozenset({f"B.opt[L{lnum}]"}),
+            frozenset({f"A{p}.place[L{lnum}]", "wan.out.seq"}),
+        )
+    if stem == "agg" and lnum is not None and p is not None:
+        return frozenset({hist(lnum)}), frozenset({hist(lnum)})
+    if stem == "pack" and lnum is not None and p is not None:
+        return (
+            frozenset({hist(lnum)}),
+            frozenset({f"A{p}.packed[L{lnum}]#{part}"}),
+        )
+    if stem == "histcomm" and lnum is not None and p is not None:
+        return (
+            frozenset({hist(lnum), f"A{p}.packed[L{lnum}]#{part}"}),
+            frozenset({f"B.ahist[p{p},L{lnum}]#{part}", "wan.in.seq"}),
+        )
+    if stem == "findA" and lnum is not None and p is not None:
+        return (
+            frozenset({f"B.ahist[p{p},L{lnum}]#{part}"}),
+            frozenset({f"B.acand[L{lnum}]"}),
+        )
+    if stem == "split" and lnum is not None:
+        return (
+            frozenset({f"B.cand[L{lnum}]", f"B.acand[L{lnum}]"}),
+            frozenset({f"B.split[L{lnum}]"}),
+        )
+    if stem == "place" and lnum is not None and p is not None:
+        return (
+            frozenset({f"B.split[L{lnum}]"}),
+            frozenset({f"A{p}.place[L{lnum}]", "wan.out.seq"}),
+        )
+    if stem == "fixplace" and lnum is not None and p is not None:
+        return (
+            frozenset({f"B.split[L{lnum}]"}),
+            frozenset({f"A{p}.placefix[L{lnum}]", "wan.out.seq"}),
+        )
+    if stem == "dirty" and lnum is not None and p is not None:
+        # The notice's content derives from the first FindSplitA slice,
+        # which is already a direct dependency; no shared-state read.
+        return frozenset(), frozenset({f"A{p}.notice[L{lnum}]", "wan.out.seq"})
+    if stem == "hist" and lnum is not None and p is not None:
+        # layer build: the clean part (or the whole layer) fills part 0
+        return (
+            frozenset({f"A{p}.place[L{lnum - 1}]"}),
+            frozenset({hist(lnum, "0")}),
+        )
+    if stem == "spec" and lnum is not None and p is not None:
+        return (
+            frozenset({f"A{p}.place[L{lnum - 1}]"}),
+            frozenset({f"A{p}.spec[L{lnum}]"}),
+        )
+    if stem == "redo" and lnum is not None and p is not None:
+        return (
+            frozenset(
+                {
+                    f"A{p}.place[L{lnum - 1}]",
+                    f"A{p}.placefix[L{lnum - 1}]",
+                    f"A{p}.notice[L{lnum - 1}]",
+                    f"A{p}.spec[L{lnum}]",
+                }
+            ),
+            frozenset({hist(lnum, "1")}),
+        )
+    return None

@@ -262,6 +262,20 @@ class RecordingChannel:
 
         return channel_report(self)
 
+    def wire_ledger(self) -> dict[str, dict[str, int]]:
+        """Per-message-type wire ledger, JSON-ready.
+
+        ``{type_name: {"messages": n, "bytes": b}}`` — the runtime half
+        of the disclosure-conformance loop: the static analyzer's
+        ``PB003`` artifact (``tests/golden/disclosure_conformance.json``)
+        pins which type names may appear here, and the golden-fingerprint
+        tests compare this ledger against it.
+        """
+        return {
+            type_name: {"messages": stats.messages, "bytes": stats.bytes}
+            for type_name, stats in sorted(self.by_type.items())
+        }
+
     def reset_stats(self) -> None:
         """Zero the accounting (queues are untouched)."""
         self.stats.clear()

@@ -39,6 +39,11 @@ class SimTask:
         task_id: position in the engine's submission order; the node id
             the schedule-graph validator keys on.
         deps: ``task_id`` of every dependency this task waited for.
+        party: passive-party index whose state the task touches (``None``
+            for party-agnostic work); disambiguates the declared
+            read/write footprints the race detector keys on — two
+            ``gh[0]`` comm tasks on the shared WAN lane write different
+            parties' buffers.
     """
 
     name: str
@@ -49,6 +54,7 @@ class SimTask:
     end: float
     task_id: int = -1
     deps: tuple[int, ...] = ()
+    party: int | None = None
 
     @property
     def duration(self) -> float:
@@ -128,6 +134,7 @@ class SimEngine:
         name: str = "",
         phase: str = "",
         not_before: float = 0.0,
+        party: int | None = None,
     ) -> SimTask:
         """Schedule one task and return it.
 
@@ -138,6 +145,7 @@ class SimEngine:
             name: label for Gantt output (defaults to the phase).
             phase: phase tag for breakdowns.
             not_before: additional absolute lower bound on start time.
+            party: passive-party index the task's footprint belongs to.
         """
         if duration < 0:
             raise ValueError("duration must be non-negative")
@@ -160,6 +168,7 @@ class SimEngine:
             end=end,
             task_id=len(self.tasks),
             deps=tuple(dep.task_id for dep in deps or ()),
+            party=party,
         )
         self.tasks.append(task)
         return task

@@ -1,0 +1,47 @@
+"""CR10x fixture: ciphertext-domain misuse the abstract interpreter flags.
+
+Each method is one known-bad pattern; the line comments name the rule
+the domain checker must report there.
+"""
+
+
+def fresh_cipher(ctx, value: float):
+    return ctx.encrypt(value)
+
+
+class DomainAbuse:
+    def implicit_plain_add(self, ctx, grad: float):
+        cipher = ctx.encrypt(grad)
+        return cipher + grad  # CR101: cipher + plain via operator
+
+    def cipher_product(self, ctx, g: float, h: float):
+        cg = ctx.encrypt(g)
+        ch = ctx.encrypt(h)
+        return cg * ch  # CR101: Paillier cannot multiply ciphers
+
+    def packed_operator(self, ctx, values):
+        pack = pack_ciphers(ctx, [ctx.encrypt(v) for v in values])
+        return pack + ctx.encrypt(0.0)  # CR101: operator on packed limbs
+
+    def summary_flow(self, ctx, base: float):
+        cipher = fresh_cipher(ctx, base)
+        return cipher + 1.0  # CR101: via interprocedural return summary
+
+    def pack_mixed_exponents(self, ctx):
+        low = ctx.encrypt(1.0, exponent=-6)
+        high = ctx.encrypt(2.0, exponent=-3)
+        return pack_ciphers(ctx, [low, high])  # CR102: limbs share one exponent
+
+    def raw_add_misaligned(self, ctx):
+        a = ctx.encrypt(1.0, exponent=-6)
+        b = ctx.encrypt(2.0, exponent=-3)
+        self.stats.additions += 1
+        return ctx.public_key.raw_add(a.ciphertext, b.ciphertext)  # repro: allow[CR002]
+
+    def double_pack(self, ctx, ciphers):
+        packed = pack_ciphers(ctx, ciphers)
+        return pack_values(ctx, packed)  # CR103: limbs of limbs
+
+    def decrypt_round_trip(self, ctx, cipher):
+        value = ctx.decrypt(cipher)
+        return ctx.encrypt(value)  # CR104: decrypt/encrypt round trip

@@ -68,3 +68,49 @@ class TestGoldenEncodesPaperClaims:
             variants["vf2boost"]["bytes_on_wire"]
             < variants["secureboost"]["bytes_on_wire"]
         )
+
+
+class TestDisclosureConformance:
+    """Runtime leg of the PB003 static<->runtime conformance loop.
+
+    The static analyzer pins the sanctioned message-type sets in
+    ``tests/golden/disclosure_conformance.json``; here the *live*
+    golden-fingerprint runs must put exactly the expected types on the
+    wire, and nothing outside the declared allow-lists.
+    """
+
+    ARTIFACT_PATH = Path(__file__).parent / "golden" / "disclosure_conformance.json"
+
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return json.loads(self.ARTIFACT_PATH.read_text())
+
+    def test_artifact_matches_static_extraction(self, artifact):
+        from repro.analysis.astutils import PackageIndex
+        from repro.analysis.conformance import build_artifact
+
+        import repro
+
+        index = PackageIndex(Path(repro.__file__).parent)
+        fresh = build_artifact(index, GOLDEN_PATH)
+        assert artifact == fresh, (
+            "tests/golden/disclosure_conformance.json is stale; regenerate "
+            "with PYTHONPATH=src python -m repro.analysis --emit-conformance"
+        )
+
+    @pytest.mark.parametrize("variant", ["vf2boost", "secureboost"])
+    def test_observed_wire_types_match_artifact(self, artifact, actual, variant):
+        observed = sorted(actual["variants"][variant]["bytes_by_type"])
+        assert observed == artifact["expected_wire_types"][variant]
+
+    @pytest.mark.parametrize("variant", ["vf2boost", "secureboost"])
+    def test_every_wire_type_is_sanctioned(self, artifact, actual, variant):
+        sanctioned = set(artifact["runtime_allowlist"]) | set(
+            artifact["label_derived"]
+        )
+        observed = set(actual["variants"][variant]["bytes_by_type"])
+        undeclared = observed - sanctioned
+        assert not undeclared, (
+            f"{variant} put undeclared message types on the wire: "
+            f"{sorted(undeclared)}"
+        )

@@ -39,6 +39,11 @@ EXPECTED_RULES = [
     ("DET003", "leakypkg/fed/clock.py"),
     ("DET001", "leakypkg/fed/clockplan.py"),
     ("DET002", "leakypkg/fed/clockplan.py"),
+    ("CR101", "leakypkg/crypto/domains_bad.py"),
+    ("CR102", "leakypkg/crypto/domains_bad.py"),
+    ("CR103", "leakypkg/crypto/domains_bad.py"),
+    ("CR104", "leakypkg/crypto/domains_bad.py"),
+    ("SUP001", "leakypkg/unused_allow.py"),
 ]
 
 
