@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 __all__ = [
     "PERF_SHAPE",
     "FAULT_SHAPE",
+    "SERVE_SHAPE",
     "GateResult",
     "GateVerdict",
     "PerfDB",
@@ -37,6 +38,7 @@ __all__ = [
     "counted_scenario",
     "faults_scenario",
     "fig7_scenario",
+    "serve_fleet_scenario",
     "gate",
 ]
 
@@ -371,6 +373,191 @@ def faults_scenario() -> PerfEntry:
         faulty_makespan - clean_makespan, kind="exact", direction="lower"
     )
     return PerfEntry(name="faults-recovery", scalars=scalars, meta=dict(shape))
+
+
+#: the fixed workload of the fleet-serving scenario: a smoke-sized
+#: model behind a 2-replica fleet replaying a seeded flash-crowd trace,
+#: plus one identical-model and one changed-model canary rollout.  The
+#: whole pipeline runs on the simulated clock, so the routed/shed and
+#: canary counts are exact; p99 is gated as measured so deliberate
+#: retunes of the SLO knobs do not require a flag day.
+SERVE_SHAPE = {
+    "n_train": 240,
+    "n_features": 8,
+    "n_trees": 3,
+    "n_layers": 4,
+    "n_bins": 8,
+    "seed": 7,
+    "n_requests": 600,
+    "rate": 300.0,
+    "trace": "flashcrowd",
+    "n_replicas": 2,
+    "n_sessions": 16,
+    "session_skew": 1.0,
+    "admission_cost": 2e-3,
+    "latency_slo": 0.15,
+    "slo_window": 32,
+    "error_budget": 0.1,
+    "burn_alert": 2.0,
+    "burn_threshold": 1.0,
+    "min_window": 16,
+    "canary_requests": 160,
+    "canary_rate": 200.0,
+    "canary_fraction": 0.25,
+    "canary_decide": 20,
+}
+
+
+def serve_fleet_scenario() -> PerfEntry:
+    """Exact scenario: fleet routing/shedding + canary verdict counts.
+
+    Replays the :data:`SERVE_SHAPE` flash-crowd trace against a
+    2-replica :class:`~repro.serve.fleet.ServingFleet` with burn-rate
+    shedding, then drives one identical-model canary (must promote)
+    and one changed-model canary (must roll back on its first golden
+    mismatch, active pointer never leaving the incumbent).  Routed /
+    shed / canary-served counts and the rollout verdicts gate
+    bit-exactly; the fleet p99 gates against the sliding-window median.
+    """
+    from repro.gbdt.params import GBDTParams
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serve.bench import _build_registry, _train
+    from repro.serve.canary import CanaryConfig, CanaryController
+    from repro.serve.fleet import FleetConfig, ServingFleet, ShedPolicy
+    from repro.serve.loadgen import LoadgenConfig, make_requests
+    from repro.serve.session import ServeConfig
+    from repro.serve.slo import SLOPolicy
+
+    shape = SERVE_SHAPE
+    params = GBDTParams(
+        n_trees=shape["n_trees"],
+        n_layers=shape["n_layers"],
+        n_bins=shape["n_bins"],
+    )
+    model, parties = _train(
+        shape["seed"], shape["n_train"], shape["n_features"], params
+    )
+    feature_dims = {0: parties[0].n_features, 1: parties[1].n_features}
+    serve_config = ServeConfig(
+        admission_cost=shape["admission_cost"], max_queue=4096
+    )
+    requests = make_requests(
+        LoadgenConfig(
+            n_requests=shape["n_requests"],
+            feature_dims=feature_dims,
+            seed=shape["seed"] + 200,
+            mode="open",
+            rate=shape["rate"],
+            trace=shape["trace"],
+            n_sessions=shape["n_sessions"],
+            session_skew=shape["session_skew"],
+        )
+    )
+    metrics = MetricsRegistry()
+    fleet = ServingFleet(
+        _build_registry(model, parties),
+        FleetConfig(
+            n_replicas=shape["n_replicas"],
+            seed=shape["seed"],
+            shed=ShedPolicy(
+                burn_threshold=shape["burn_threshold"],
+                min_window=shape["min_window"],
+            ),
+            slo=SLOPolicy(
+                latency_slo=shape["latency_slo"],
+                window=shape["slo_window"],
+                error_budget=shape["error_budget"],
+                burn_alert=shape["burn_alert"],
+            ),
+        ),
+        serve_config=serve_config,
+        metrics_registry=metrics,
+    )
+    for request in requests:
+        fleet.submit(request)
+    completions = fleet.run()
+    served = [o for o in completions if not o.rejected]
+    ordered = sorted(o.latency for o in served)
+    rank = min(len(ordered) - 1, max(0, -(-99 * len(ordered) // 100) - 1))
+    counters = metrics.counters("fleet.")
+
+    canary_requests = make_requests(
+        LoadgenConfig(
+            n_requests=shape["canary_requests"],
+            feature_dims=feature_dims,
+            seed=shape["seed"] + 300,
+            mode="open",
+            rate=shape["canary_rate"],
+            n_sessions=shape["n_sessions"],
+            session_skew=shape["session_skew"],
+        )
+    )
+    bad_model, bad_parties = _train(
+        shape["seed"] + 17, shape["n_train"], shape["n_features"], params
+    )
+
+    def rollout(candidate, candidate_model, candidate_parties):
+        registry = _build_registry(model, parties)
+        registry.register(
+            candidate,
+            candidate_model,
+            bin_edges={
+                k: party.cut_points
+                for k, party in enumerate(candidate_parties)
+            },
+        )
+        controller = CanaryController(
+            registry,
+            CanaryConfig(
+                candidate=candidate,
+                traffic_fraction=shape["canary_fraction"],
+                decision_after=shape["canary_decide"],
+                seed=shape["seed"],
+            ),
+        )
+        canary_fleet = ServingFleet(
+            registry,
+            FleetConfig(
+                n_replicas=shape["n_replicas"], seed=shape["seed"], shed=None
+            ),
+            canary=controller,
+        )
+        for request in canary_requests:
+            canary_fleet.submit(request)
+        canary_fleet.run()
+        return controller, registry
+
+    identical, identical_reg = rollout("v2", model, parties)
+    bad, bad_reg = rollout("v2-bad", bad_model, bad_parties)
+
+    def exact(value: float) -> PerfScalar:
+        return PerfScalar(float(value), kind="exact", direction="lower")
+
+    scalars = {
+        "fleet.routed": exact(counters.get("routed", 0)),
+        "fleet.shed": exact(counters.get("shed", 0)),
+        "fleet.completed": exact(counters.get("completed", 0)),
+        "fleet.degraded": exact(counters.get("degraded", 0)),
+        "canary.identical.served": exact(identical.canary_served),
+        "canary.identical.promoted": exact(
+            1.0
+            if identical.state == "promoted"
+            and identical_reg.active().version == "v2"
+            else 0.0
+        ),
+        "canary.bad.served": exact(bad.canary_served),
+        "canary.bad.mismatches": exact(bad.mismatches),
+        "canary.bad.rolled_back": exact(
+            1.0
+            if bad.state == "rolled_back"
+            and bad_reg.active().version == "v1"
+            else 0.0
+        ),
+        "fleet.p99": PerfScalar(
+            ordered[rank] if ordered else 0.0, kind="measured", direction="lower"
+        ),
+    }
+    return PerfEntry(name="serve-fleet", scalars=scalars, meta=dict(shape))
 
 
 def fig7_scenario(key_bits: int = 512, samples: int = 48) -> PerfEntry:

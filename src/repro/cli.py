@@ -23,7 +23,7 @@ saved :class:`~repro.obs.RunReport` as Chrome trace-event JSON
 breakdown.  ``bench-gate`` runs the benchmark scenarios, gates them
 against the append-only performance database and appends the new
 entries when the gate passes (exit 1 on regression; ``--faults`` adds
-the recovery-cost scenario).  ``calibrate`` microbenchmarks this host
+the recovery-cost scenario, ``--serve`` the fleet-serving scenario).  ``calibrate`` microbenchmarks this host
 into a calibration profile and optionally checks its cost ratios for
 drift against the paper references.  ``train`` runs a federated
 training job on synthetic data with optional fault injection,
@@ -119,6 +119,7 @@ def _bench_gate_main(argv: list[str]) -> int:
         faults_scenario,
         fig7_scenario,
         gate,
+        serve_fleet_scenario,
     )
 
     parser = argparse.ArgumentParser(
@@ -157,6 +158,11 @@ def _bench_gate_main(argv: list[str]) -> int:
         help="also run the exact fault-recovery cost scenario",
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="also run the fleet-serving scenario (routing/shed/canary)",
+    )
+    parser.add_argument(
         "--key-bits",
         type=int,
         default=512,
@@ -183,6 +189,8 @@ def _bench_gate_main(argv: list[str]) -> int:
     entries = [counted_scenario()]
     if args.faults:
         entries.append(faults_scenario())
+    if args.serve:
+        entries.append(serve_fleet_scenario())
     if args.fig7:
         entries.append(fig7_scenario(key_bits=args.key_bits, samples=args.samples))
     db = PerfDB.load(args.db)

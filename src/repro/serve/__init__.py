@@ -11,19 +11,35 @@ FederatedPredictor` protocol into a latency-aware serving runtime:
 * :mod:`repro.serve.session` — request lifecycle (admission → binning →
   layered traversal → margin → probability) on a deterministic
   discrete-event loop.
-* :mod:`repro.serve.resilience` — per-party timeout/retry with backoff
-  and majority-direction degraded routing.
+* :mod:`repro.serve.resilience` — majority-direction degraded routing
+  (timeout/retry policy lives in :mod:`repro.fed.retry`, shared with
+  the training path).
 * :mod:`repro.serve.metrics` — counters, latency/occupancy histograms,
   per-1k-prediction wire accounting, JSON snapshots.
 * :mod:`repro.serve.slo` — sliding-window p99 + error-budget burn
   watcher with a structured (JSONL) event log.
+* :mod:`repro.serve.fleet` — consistent-hash sharding across N replica
+  runtimes, burn-rate load shedding at the fleet door, ``fleet.*``
+  metric rollup.
+* :mod:`repro.serve.canary` — staged rollout of a registry version on
+  a deterministic traffic slice with golden-metric promotion/rollback.
 * :mod:`repro.serve.loadgen` / :mod:`repro.serve.bench` — seeded
-  open/closed-loop load generation and the naive-vs-batched benchmark
-  (``python -m repro.serve.bench``).
+  open/closed-loop load generation with heavy-tail traces, the
+  naive-vs-batched benchmark and the replica-count sweep
+  (``python -m repro.serve.bench --replicas 4 --trace flashcrowd``).
 """
 
+from repro.fed.retry import PartyHealth, RetryPolicy
 from repro.serve.batcher import MicroBatcher, RouteWork
+from repro.serve.canary import CanaryConfig, CanaryController, golden_margins
+from repro.serve.fleet import (
+    FleetConfig,
+    FleetRouter,
+    ServingFleet,
+    ShedPolicy,
+)
 from repro.serve.loadgen import (
+    TRACES,
     LoadgenConfig,
     make_party_delay,
     make_requests,
@@ -32,12 +48,7 @@ from repro.serve.loadgen import (
 )
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import ModelRegistry, ModelVersion
-from repro.serve.resilience import (
-    DegradedRouter,
-    PartyHealth,
-    RetryPolicy,
-    majority_directions,
-)
+from repro.serve.resilience import DegradedRouter, majority_directions
 from repro.serve.session import (
     Prediction,
     Request,
@@ -49,6 +60,14 @@ from repro.serve.slo import SLOPolicy, SLOWatcher
 __all__ = [
     "MicroBatcher",
     "RouteWork",
+    "CanaryConfig",
+    "CanaryController",
+    "golden_margins",
+    "FleetConfig",
+    "FleetRouter",
+    "ServingFleet",
+    "ShedPolicy",
+    "TRACES",
     "LoadgenConfig",
     "make_party_delay",
     "make_requests",

@@ -17,6 +17,17 @@ bytes per 1k predictions, p50/p99 latency and throughput.
 A third scenario injects a deterministic slow party to exercise the
 timeout → retry → degraded-routing path and prove degraded requests are
 flagged and counted.
+
+A fourth stage sweeps the **fleet**: the same seeded heavy-tail trace
+(``--trace`` — flashcrowd by default) is replayed against 1/2/4/8
+replica :class:`~repro.serve.fleet.ServingFleet` deployments (override
+with ``--replicas N``), reporting p99 vs. replica count, shed counts
+under burn-rate admission control, and bit-parity of every non-shed
+prediction against a single-runtime baseline.  A canary stage then
+rolls out an identical model (auto-promoted on bit-identical golden
+margins) and a deliberately different one (auto-rolled back on the
+first golden mismatch, with the active pointer never leaving the
+incumbent).
 """
 
 from __future__ import annotations
@@ -42,15 +53,18 @@ from repro.obs import (
     channel_report,
     write_chrome_trace,
 )
+from repro.serve.canary import CanaryConfig, CanaryController
+from repro.serve.fleet import FleetConfig, ServingFleet, ShedPolicy
 from repro.serve.loadgen import (
     LoadgenConfig,
     make_party_delay,
     make_requests,
     run_closed_loop,
+    run_open_loop,
 )
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import ModelRegistry
-from repro.serve.resilience import RetryPolicy
+from repro.fed.retry import RetryPolicy
 from repro.serve.session import ServeConfig, ServingRuntime
 from repro.serve.slo import SLOPolicy, SLOWatcher
 
@@ -143,6 +157,198 @@ def _naive_baseline(
     }
 
 
+def _nearest_rank_p99(latencies: list[float]) -> float:
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    rank = min(len(ordered) - 1, max(0, -(-99 * len(ordered) // 100) - 1))
+    return ordered[rank]
+
+
+def _fleet_sweep(
+    registry: ModelRegistry,
+    feature_dims: dict[int, int],
+    cluster: ClusterSpec,
+    seed: int,
+    smoke: bool,
+    trace: str,
+    replica_counts: list[int],
+) -> dict:
+    """p99 vs. replica count over one seeded heavy-tail trace.
+
+    The fleet serve config prices admission at 2 ms of serial CPU per
+    request — a per-replica capacity of 500 req/s — so the trace's
+    burst genuinely overloads small fleets and the sweep shows both
+    levers: horizontal scale-out flattening p99, and burn-rate shedding
+    bounding it when capacity still falls short.  Every non-shed
+    prediction is checked bit-identical against a single plain runtime
+    serving the identical request list.
+    """
+    fleet_serve = ServeConfig(
+        max_batch_size=64,
+        max_delay=0.005,
+        admission_cost=2e-3,
+        max_queue=4096,
+    )
+    # latency_slo sits above the ~0.1 s intrinsic WAN latency of an
+    # unloaded request and below the admission-backlog latencies an
+    # overloaded replica produces, so breaches mean *queueing*.
+    slo_policy = SLOPolicy(
+        latency_slo=0.15, window=32, error_budget=0.1, burn_alert=2.0
+    )
+    shed_policy = ShedPolicy(burn_threshold=1.0, min_window=16)
+    load = LoadgenConfig(
+        n_requests=600 if smoke else 2000,
+        feature_dims=feature_dims,
+        seed=seed + 200,
+        mode="open",
+        rate=300.0,
+        trace=trace,
+        n_sessions=16 if smoke else 64,
+        session_skew=1.0,
+    )
+    requests = make_requests(load)
+
+    # Single-runtime golden baseline: no fleet, no shedding.
+    baseline_runtime = ServingRuntime(
+        registry, cluster=cluster, config=fleet_serve
+    )
+    baseline = run_open_loop(baseline_runtime, requests)
+    baseline_ok = [o for o in baseline if not o.rejected]
+    baseline_margins = {o.request_id: o.margins for o in baseline_ok}
+
+    sweep = []
+    for n_replicas in replica_counts:
+        metrics = MetricsRegistry()
+        fleet = ServingFleet(
+            registry,
+            FleetConfig(
+                n_replicas=n_replicas,
+                seed=seed,
+                shed=shed_policy,
+                slo=slo_policy,
+            ),
+            cluster=cluster,
+            serve_config=fleet_serve,
+            metrics_registry=metrics,
+        )
+        for request in requests:
+            fleet.submit(request)
+        completions = fleet.run()
+        served = [o for o in completions if not o.rejected]
+        parity = all(
+            np.array_equal(o.margins, baseline_margins[o.request_id])
+            for o in served
+        )
+        counters = metrics.counters("fleet.")
+        sweep.append(
+            {
+                "replicas": n_replicas,
+                "routed": counters.get("routed", 0),
+                "shed": counters.get("shed", 0),
+                "completed": counters.get("completed", 0),
+                "rejected": counters.get("rejected", 0),
+                "degraded": counters.get("degraded", 0),
+                "deadline_misses": counters.get("deadline_misses", 0),
+                "burn_alerts": sum(w.alerts for w in fleet.watchers),
+                "p99": _nearest_rank_p99([o.latency for o in served]),
+                "shed_fraction": (
+                    counters.get("shed", 0) / len(requests) if requests else 0.0
+                ),
+                "parity_bit_identical": bool(parity),
+            }
+        )
+    return {
+        "trace": trace,
+        "rate": load.rate,
+        "n_requests": load.n_requests,
+        "n_sessions": load.n_sessions,
+        "admission_cost": fleet_serve.admission_cost,
+        "slo": slo_policy.to_dict(),
+        "shed_policy": {
+            "burn_threshold": shed_policy.burn_threshold,
+            "min_window": shed_policy.min_window,
+        },
+        "baseline_p99": _nearest_rank_p99([o.latency for o in baseline_ok]),
+        "sweep": sweep,
+    }
+
+
+def _canary_stage(
+    model,
+    parties,
+    feature_dims: dict[int, int],
+    cluster: ClusterSpec,
+    seed: int,
+    smoke: bool,
+    params: GBDTParams,
+    n_train: int,
+    n_features: int,
+) -> dict:
+    """Two rollouts through the canary state machine.
+
+    ``identical``: the incumbent model re-registered as v2 — golden
+    margins match bit-for-bit, so the canary auto-promotes and the
+    registry's active pointer hot-swaps to v2.  ``bad``: a model
+    trained on different data registered as v2-bad — the first
+    canary-served request mismatches the golden replay, the canary
+    rolls back, and the active pointer never leaves v1 (zero promoted
+    traffic).
+    """
+    bad_model, bad_parties = _train(seed + 17, n_train, n_features, params)
+    load = LoadgenConfig(
+        n_requests=160 if smoke else 600,
+        feature_dims=feature_dims,
+        seed=seed + 300,
+        mode="open",
+        rate=200.0,
+        n_sessions=16 if smoke else 64,
+        session_skew=1.0,
+    )
+    requests = make_requests(load)
+
+    def rollout(candidate: str, candidate_model, candidate_parties) -> dict:
+        registry = _build_registry(model, parties)
+        registry.register(
+            candidate,
+            candidate_model,
+            bin_edges={
+                k: party.cut_points
+                for k, party in enumerate(candidate_parties)
+            },
+            calibration_codes={
+                k: party.codes for k, party in enumerate(candidate_parties)
+            },
+        )
+        controller = CanaryController(
+            registry,
+            CanaryConfig(
+                candidate=candidate,
+                traffic_fraction=0.25,
+                decision_after=20 if smoke else 60,
+                seed=seed,
+                expect_identical=True,
+            ),
+        )
+        fleet = ServingFleet(
+            registry,
+            FleetConfig(n_replicas=2, seed=seed, shed=None),
+            cluster=cluster,
+            canary=controller,
+        )
+        for request in requests:
+            fleet.submit(request)
+        fleet.run()
+        summary = controller.summary()
+        summary["active_after"] = registry.active().version
+        return summary
+
+    return {
+        "identical": rollout("v2", model, parties),
+        "bad": rollout("v2-bad", bad_model, bad_parties),
+    }
+
+
 def run_bench(
     smoke: bool = False,
     n_requests: int | None = None,
@@ -151,10 +357,16 @@ def run_bench(
     trace_out: str | None = None,
     report_out: str | None = None,
     events_out: str | None = None,
+    replicas: list[int] | None = None,
+    trace: str = "flashcrowd",
 ) -> dict:
-    """Run all three scenarios; returns the JSON-ready report.
+    """Run every scenario; returns the JSON-ready report.
 
     Args:
+        replicas: fleet sweep replica counts (defaults to ``[1, 2]``
+            in smoke mode, ``[1, 2, 4, 8]`` otherwise).
+        trace: heavy-tail trace name for the fleet sweep (a
+            :data:`~repro.serve.loadgen.TRACES` key).
         trace_out: also write a Chrome trace of the batched runtime's
             admission / request / round-trip spans (Perfetto-loadable).
         report_out: also write a :class:`~repro.obs.RunReport` whose
@@ -274,6 +486,23 @@ def run_bench(
     )
     degraded_snapshot = degraded_runtime.snapshot()
 
+    # --- fleet sweep + canary rollout ---------------------------------
+    replica_counts = replicas or ([1, 2] if smoke else [1, 2, 4, 8])
+    fleet_report = _fleet_sweep(
+        registry, feature_dims, cluster, seed, smoke, trace, replica_counts
+    )
+    fleet_report["canary"] = _canary_stage(
+        model,
+        parties,
+        feature_dims,
+        cluster,
+        seed,
+        smoke,
+        params,
+        n_train,
+        n_features,
+    )
+
     batched_rt_1k = snapshot["per_1k_predictions"]["round_trips"]
     report = {
         "config": {
@@ -322,6 +551,7 @@ def run_bench(
             "slo": degraded_slo.summary(),
         },
         "slo": slo.summary(),
+        "fleet": fleet_report,
     }
 
     if events_out:
@@ -381,6 +611,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--requests", type=int, default=None)
     parser.add_argument("--concurrency", type=int, default=None)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help="sweep only this replica count (default: 1,2,4,8; 1,2 in smoke)",
+    )
+    parser.add_argument(
+        "--trace",
+        default="flashcrowd",
+        choices=["diurnal", "flashcrowd", "overload"],
+        help="heavy-tail arrival trace for the fleet sweep",
+    )
     args = parser.parse_args(argv)
 
     report = run_bench(
@@ -391,6 +633,8 @@ def main(argv: list[str] | None = None) -> int:
         trace_out=args.trace_out,
         report_out=args.report_out,
         events_out=args.events_out,
+        replicas=[args.replicas] if args.replicas else None,
+        trace=args.trace,
     )
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=1)
@@ -421,8 +665,25 @@ def main(argv: list[str] | None = None) -> int:
         f"{report['degraded_scenario']['timeouts']} timeouts, "
         f"{report['degraded_scenario']['retries']} retries"
     )
+    fleet = report["fleet"]
+    for entry in fleet["sweep"]:
+        print(
+            f"fleet[{fleet['trace']}] replicas={entry['replicas']}: "
+            f"p99 {entry['p99'] * 1000:.1f}ms, shed {entry['shed']}, "
+            f"parity {entry['parity_bit_identical']}"
+        )
+    canary = fleet["canary"]
+    print(
+        f"canary: identical -> {canary['identical']['state']} "
+        f"(active {canary['identical']['active_after']}), "
+        f"bad -> {canary['bad']['state']} "
+        f"(active {canary['bad']['active_after']})"
+    )
     if not parity["margins_bit_identical"]:
         print("PARITY FAILURE: batched margins diverge", file=sys.stderr)
+        return 1
+    if not all(entry["parity_bit_identical"] for entry in fleet["sweep"]):
+        print("PARITY FAILURE: fleet margins diverge", file=sys.stderr)
         return 1
     return 0
 

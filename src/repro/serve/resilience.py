@@ -5,12 +5,11 @@ party that owns a split on the instance's path — a single slow WAN hop
 can stall the whole request.  This module provides the two standard
 mitigations:
 
-* :class:`RetryPolicy` — per-party timeout with capped exponential
-  backoff.  Retried batches are *resent verbatim* (same items, new
-  attempt number), so a retry costs one extra round trip and nothing
-  else.  The policy (and :class:`PartyHealth`) now live in
-  :mod:`repro.fed.retry`, shared with the fault-tolerant training
-  path; this module re-exports them unchanged.
+* retry — per-party timeout with capped exponential backoff.
+  :class:`~repro.fed.retry.RetryPolicy` and
+  :class:`~repro.fed.retry.PartyHealth` live in :mod:`repro.fed.retry`,
+  shared with the fault-tolerant training path; import them from
+  there.  (A compat alias below keeps old pickles/imports working.)
 * :class:`DegradedRouter` — when a party stays unresponsive past its
   retry budget (or the request's deadline), its nodes are routed by a
   precomputed *majority direction* and the prediction is flagged
@@ -31,9 +30,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.fed.retry import PartyHealth, RetryPolicy
+# Compat alias only — canonical home is repro.fed.retry (shared with training).
+from repro.fed.retry import PartyHealth, RetryPolicy  # noqa: F401
 
-__all__ = ["RetryPolicy", "PartyHealth", "DegradedRouter", "majority_directions"]
+__all__ = ["DegradedRouter", "majority_directions"]
 
 
 def majority_directions(

@@ -18,11 +18,19 @@ session pins the :class:`~repro.serve.registry.ModelVersion` it was
 admitted under.
 
 Failure path: an unanswered batch is retried with exponential backoff
-(:class:`~repro.serve.resilience.RetryPolicy`); once the retry budget
+(:class:`~repro.fed.retry.RetryPolicy`); once the retry budget
 is exhausted the affected nodes are routed by the registry's
 majority-direction fallback and every touched prediction is flagged
 ``degraded`` instead of failing (see :mod:`repro.serve.resilience` for
 the privacy argument).
+
+Admission is priced on a *serial* per-runtime CPU: binning + cache
+probing of consecutive requests queue behind one another, so one
+runtime has a finite capacity of ``1 / admission_cost`` requests per
+simulated second.  That queueing is what makes horizontal scale-out
+(:mod:`repro.serve.fleet`) and burn-rate load shedding meaningful —
+overload shows up as admission backlog, exactly the resource a replica
+shard takes over.
 """
 
 from __future__ import annotations
@@ -44,11 +52,11 @@ from repro.fed.channel import RecordingChannel
 from repro.fed.cluster import ClusterSpec
 from repro.fed.messages import RouteAnswerBatch, RouteQueryBatch
 from repro.gbdt.loss import sigmoid
+from repro.fed.retry import PartyHealth, RetryPolicy
 from repro.obs.tracer import Tracer
 from repro.serve.batcher import MicroBatcher, RouteWork
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import ModelRegistry, ModelVersion
-from repro.serve.resilience import PartyHealth, RetryPolicy
 
 __all__ = ["ServeConfig", "Request", "Prediction", "ServingRuntime"]
 
@@ -85,15 +93,26 @@ class ServeConfig:
 
 @dataclass
 class Request:
-    """One inference request: raw feature rows, one block per party."""
+    """One inference request: raw feature rows, one block per party.
+
+    ``session_id`` groups requests of one logical client; the fleet
+    router consistent-hashes it so a session sticks to one replica
+    (cache affinity).  ``-1`` means "no session": routing falls back to
+    the request id.
+    """
 
     request_id: int
     arrival: float
     rows: dict[int, np.ndarray]
+    session_id: int = -1
 
     def n_rows(self) -> int:
         """Instances carried by the request."""
         return int(next(iter(self.rows.values())).shape[0])
+
+    def session_key(self) -> int:
+        """Routing key: the session when set, else the request id."""
+        return self.session_id if self.session_id >= 0 else self.request_id
 
 
 @dataclass
@@ -111,6 +130,7 @@ class Prediction:
     finished: float
     deadline_missed: bool
     rejected: bool = False
+    shed: bool = False
 
     @property
     def latency(self) -> float:
@@ -203,6 +223,12 @@ class ServingRuntime:
         slo: optional :class:`~repro.serve.slo.SLOWatcher`; fed every
             completion (including rejections) and every batch timeout
             on the simulated clock.
+        version_selector: optional ``request -> ModelVersion`` hook
+            deciding which registered version serves a request (canary
+            traffic slicing); defaults to :meth:`ModelRegistry.active`.
+        track_prefix: prefix for every tracer track name — a fleet
+            passes ``"replica3."`` so per-replica spans land on their
+            own Perfetto tracks.
     """
 
     def __init__(
@@ -216,6 +242,8 @@ class ServingRuntime:
         party_delay: Callable[[int, int, int], float] | None = None,
         tracer: Tracer | None = None,
         slo=None,
+        version_selector: Callable[[Request], ModelVersion] | None = None,
+        track_prefix: str = "",
     ) -> None:
         self.registry = registry
         self.cluster = cluster or ClusterSpec()
@@ -228,6 +256,8 @@ class ServingRuntime:
         self.party_delay = party_delay
         self.tracer = tracer
         self.slo = slo
+        self.version_selector = version_selector
+        self.track_prefix = track_prefix
         self.batcher = MicroBatcher(
             self.config.max_batch_size, self.config.max_delay
         )
@@ -239,6 +269,8 @@ class ServingRuntime:
         self._events: list[tuple[float, int, str, object]] = []
         self._seq = 0
         self._on_complete: Callable[[Prediction], None] | None = None
+        #: the serial admission CPU is busy until this simulated time
+        self._cpu_free = 0.0
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -251,26 +283,44 @@ class ServingRuntime:
         """Schedule a request's arrival (callable mid-run: closed loop)."""
         self._push(request.arrival, "arrive", request)
 
+    def set_on_complete(
+        self, on_complete: Callable[[Prediction], None] | None
+    ) -> None:
+        """Install the completion callback without entering :meth:`run`
+        (a fleet steps the loop itself via :meth:`step`)."""
+        self._on_complete = on_complete
+
+    def next_event_time(self) -> float | None:
+        """Timestamp of the earliest pending event (None when idle)."""
+        return self._events[0][0] if self._events else None
+
+    def step(self) -> None:
+        """Pop and process exactly one event (fleet interleaving)."""
+        now, _, kind, payload = heapq.heappop(self._events)
+        self._dispatch(now, kind, payload)
+
+    def _dispatch(self, now: float, kind: str, payload: object) -> None:
+        if kind == "arrive":
+            self._admit(payload, now)
+        elif kind == "timer":
+            party, generation = payload
+            items = self.batcher.on_timer(party, generation)
+            if items:
+                self._flush(party, items, now)
+        elif kind == "send":
+            self._send_attempt(payload, now)
+        elif kind == "deliver":
+            self._deliver(payload, now)
+        elif kind == "timeout":
+            self._timeout(payload, now)
+
     def run(
         self, on_complete: Callable[[Prediction], None] | None = None
     ) -> list[Prediction]:
         """Drain the event loop; returns completions in finish order."""
         self._on_complete = on_complete
         while self._events:
-            now, _, kind, payload = heapq.heappop(self._events)
-            if kind == "arrive":
-                self._admit(payload, now)
-            elif kind == "timer":
-                party, generation = payload
-                items = self.batcher.on_timer(party, generation)
-                if items:
-                    self._flush(party, items, now)
-            elif kind == "send":
-                self._send_attempt(payload, now)
-            elif kind == "deliver":
-                self._deliver(payload, now)
-            elif kind == "timeout":
-                self._timeout(payload, now)
+            self.step()
         return self.completed
 
     # ------------------------------------------------------------------
@@ -301,15 +351,22 @@ class ServingRuntime:
             if self._on_complete is not None:
                 self._on_complete(outcome)
             return
-        version = self.registry.active()
-        admitted = now + self.config.admission_cost
+        version = (
+            self.version_selector(request)
+            if self.version_selector is not None
+            else self.registry.active()
+        )
+        # Binning + cache probing occupy the serial admission CPU, so
+        # concurrent arrivals queue: max(now, cpu_free) is the backlog.
+        admitted = max(now, self._cpu_free) + self.config.admission_cost
+        self._cpu_free = admitted
         if self.tracer is not None:
             self.tracer.add(
                 f"admit#{request.request_id}",
                 now,
                 admitted,
                 category="Admit",
-                track="B.serve",
+                track=self.track_prefix + "B.serve",
                 request_id=request.request_id,
             )
         n_rows = request.n_rows()
@@ -502,7 +559,7 @@ class ServingRuntime:
                 now,
                 done,
                 category="RoundTrip",
-                track=f"party{party}.wire",
+                track=f"{self.track_prefix}party{party}.wire",
                 lane=record.batch_id % 8,
                 batch_id=record.batch_id,
                 attempt=record.attempt,
@@ -615,7 +672,7 @@ class ServingRuntime:
                 session.admitted,
                 now,
                 category="Request",
-                track="requests",
+                track=self.track_prefix + "requests",
                 lane=session.request.request_id % 16,
                 request_id=session.request.request_id,
                 rows=n_rows,

@@ -168,6 +168,10 @@ class SLOWatcher:
     # ------------------------------------------------------------------
     # Read
     # ------------------------------------------------------------------
+    def window_size(self) -> int:
+        """Completions currently in the sliding window (evidence count)."""
+        return len(self._window)
+
     def window_p99(self) -> float:
         """Nearest-rank p99 latency over the sliding window (0 empty)."""
         if not self._window:

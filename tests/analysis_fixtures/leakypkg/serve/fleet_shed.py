@@ -1,0 +1,15 @@
+"""Fleet fixture: a wall clock inside a load-shedding decision.
+
+``should_shed`` consults ``time.monotonic`` to age the burn-rate
+evidence instead of taking the simulated ``now`` as an argument —
+DET001 must fire, proving the determinism scope covers the fleet
+serving path (a host-timing-dependent shed decision would break the
+byte-repeatability of every fleet bench).
+"""
+
+import time
+
+
+def should_shed(burn_rate: float, last_completion: float) -> bool:
+    age = time.monotonic() - last_completion
+    return burn_rate >= 1.0 and age < 5.0

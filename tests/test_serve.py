@@ -30,7 +30,8 @@ from repro.serve.loadgen import (
 )
 from repro.serve.metrics import Histogram, ServeMetrics
 from repro.serve.registry import ModelRegistry
-from repro.serve.resilience import PartyHealth, RetryPolicy, majority_directions
+from repro.fed.retry import PartyHealth, RetryPolicy
+from repro.serve.resilience import majority_directions
 from repro.serve.session import Request, ServeConfig, ServingRuntime
 
 

@@ -111,6 +111,54 @@ class TestBurnAlert:
         assert start["p99"] == 2.0
 
 
+class TestEdgeCases:
+    def test_window_size_accessor(self):
+        watcher = SLOWatcher(SLOPolicy(window=4))
+        assert watcher.window_size() == 0
+        for i in range(6):
+            watcher.on_completion(ok_outcome(i), now=float(i))
+            assert watcher.window_size() == min(i + 1, 4)
+
+    def test_zero_traffic_window_stays_empty(self):
+        # Rejections (shed / queue-full) bypass the latency window: a
+        # replica that sheds everything has NO burn evidence, not a
+        # saturated window of zeros.
+        watcher = SLOWatcher(SLOPolicy(window=4, burn_alert=1.0))
+        for i in range(10):
+            watcher.on_completion(rejected_outcome(i), now=float(i))
+        assert watcher.window_size() == 0
+        assert watcher.burn_rate() == 0.0
+        assert not watcher.alert_open
+
+    def test_episode_closes_exactly_at_window_boundary(self):
+        # budget 0.25 with burn_alert 1.0: a single breach in a window
+        # of 4 keeps the episode open. The alert must close on exactly
+        # the completion that slides the last breach out of the window
+        # — not one early, not one late.
+        watcher = SLOWatcher(
+            SLOPolicy(window=4, latency_slo=0.5, error_budget=0.25, burn_alert=1.0)
+        )
+        for i in range(4):
+            watcher.on_completion(ok_outcome(i, latency=1.0), now=float(i))
+        assert watcher.alert_open
+        for i in range(4, 7):
+            watcher.on_completion(ok_outcome(i, latency=0.1), now=float(i))
+            # Window still holds >= 1 breach: burn >= alert threshold.
+            assert watcher.alert_open, f"closed early after completion {i}"
+        watcher.on_completion(ok_outcome(7, latency=0.1), now=7.0)
+        assert not watcher.alert_open
+        end = [e for e in watcher.events if e["event"] == "burn_alert_end"]
+        assert len(end) == 1 and end[0]["time"] == 7.0
+
+    def test_tiny_budget_burn_is_finite(self):
+        # error_budget=0 is rejected at construction (see TestPolicy);
+        # the smallest representable budget must still divide cleanly.
+        watcher = SLOWatcher(SLOPolicy(window=2, error_budget=1e-9))
+        watcher.on_completion(ok_outcome(0, latency=9.0), now=0.0)
+        assert watcher.burn_rate() == pytest.approx(1e9)
+        assert np.isfinite(watcher.burn_rate())
+
+
 class TestEvents:
     def test_rejected_bypasses_window(self):
         watcher = SLOWatcher()

@@ -29,6 +29,7 @@ EXPECTED_RULES = [
     ("PB002", "leakypkg/fed/rogue.py"),
     ("PB002", "leakypkg/serve/rogue_batch.py"),
     ("DET001", "leakypkg/serve/rogue_batch.py"),
+    ("DET001", "leakypkg/serve/fleet_shed.py"),
     ("DET001", "leakypkg/obs/clocky.py"),
     ("DET001", "leakypkg/bench/stale_profile.py"),
     ("CR001", "leakypkg/crosskey.py"),
