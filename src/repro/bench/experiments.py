@@ -49,6 +49,7 @@ __all__ = [
     "run_table5",
     "run_table6",
     "run_resource_utilization",
+    "run_critical_path",
 ]
 
 #: the paper's training protocol (§6.1): T=20, eta=0.1, L=7, s=20
@@ -707,3 +708,47 @@ def run_resource_utilization(
         title="§6.2 resource utilization (synthesis, analytic)",
     )
     return result, rendered
+
+
+def run_critical_path() -> tuple[dict, str]:
+    """Critical-path forensics on the golden two-tree schedule.
+
+    Schedules the 48x6 golden shape with task-graph collection on, walks
+    the exact critical path (:mod:`repro.obs.critical`) and renders the
+    makespan attribution table plus an annotated Gantt chart — on-path
+    tasks UPPERCASE, waits as ``*``.  The path total matches the
+    schedule makespan bit-exactly; the returned dict is the same
+    ``critical_path`` section a schedule :class:`RunReport` carries.
+    """
+    from repro.obs.critical import critical_gantt
+
+    params = GBDTParams(n_trees=2, learning_rate=0.1, n_layers=3, n_bins=4)
+    cost = CostModel.paper()
+    trace = analytic_trace(
+        48, 3, [3], density=1.0,
+        n_bins=params.n_bins, n_layers=params.n_layers,
+        n_trees=params.n_trees,
+    )
+    schedule = ProtocolScheduler(
+        VF2BoostConfig.vf2boost(params=params), cost, PAPER_CLUSTER
+    ).schedule(trace, collect_tasks=True)
+    section = schedule.critical_path_section()
+    rows = [
+        (
+            row["resource"], str(row["lane"]), row["phase"], row["op"],
+            format_seconds(row["seconds"]), f"{row['share']:.1%}",
+        )
+        for row in section["attribution"][:10]
+    ]
+    table = format_table(
+        ["resource", "lane", "phase", "op", "seconds", "share"],
+        rows,
+        title=(
+            "critical-path attribution (golden 48x6, 2 trees; "
+            f"makespan {format_seconds(section['makespan'])}, "
+            f"wait {format_seconds(section['wait_seconds'])})"
+        ),
+    )
+    gantt = critical_gantt(schedule.task_graphs[0])
+    rendered = table + "\n\ntree 0 annotated Gantt (UPPERCASE = on path):\n" + gantt
+    return section, rendered

@@ -219,11 +219,10 @@ def counted_scenario() -> PerfEntry:
         n_layers=shape["n_layers"],
         n_trees=shape["n_trees"],
     )
-    makespan = (
-        ProtocolScheduler(config, CostModel.paper(), PAPER_CLUSTER)
-        .schedule(trace)
-        .makespan
+    schedule = ProtocolScheduler(config, CostModel.paper(), PAPER_CLUSTER).schedule(
+        trace, collect_tasks=True
     )
+    makespan = schedule.makespan
 
     scalars = {
         f"ops.{op}": PerfScalar(float(count), kind="exact", direction="lower")
@@ -238,6 +237,22 @@ def counted_scenario() -> PerfEntry:
         direction="lower",
     )
     scalars["sim_makespan"] = PerfScalar(makespan, kind="exact", direction="lower")
+    # Per-phase and per-resource critical-path attributions of the same
+    # analytic schedule: deterministic floats, gated bit-exactly.  When
+    # sim_makespan regresses, these are the scalars the --explain differ
+    # decomposes the delta into (which phase grew, which lane owns it).
+    for phase, seconds in sorted(schedule.phase_totals.items()):
+        scalars[f"phase.{phase}"] = PerfScalar(
+            seconds, kind="exact", direction="lower"
+        )
+    section = schedule.critical_path_section()
+    for resource, seconds in sorted(section.get("by_resource", {}).items()):
+        scalars[f"critical.{resource}"] = PerfScalar(
+            seconds, kind="exact", direction="lower"
+        )
+    scalars["critical.wait"] = PerfScalar(
+        float(section.get("wait_seconds", 0.0)), kind="exact", direction="lower"
+    )
     return PerfEntry(name="counted-train", scalars=scalars, meta=dict(shape))
 
 

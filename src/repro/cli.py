@@ -8,7 +8,9 @@ Usage::
     python -m repro all
     python -m repro list
     python -m repro trace run.report.json -o run.trace.json
-    python -m repro bench-gate --db BENCH_perf.json
+    python -m repro trace run.report.json --summary
+    python -m repro whatif --speedup powmod=2 --break-even powmod
+    python -m repro bench-gate --db BENCH_perf.json --explain
     python -m repro calibrate -o profile.json --check
     python -m repro train --trees 8 --checkpoint-dir ckpts --fault-seed 7
     python -m repro faults --sweep
@@ -20,10 +22,16 @@ that produce structured data (``fig7``, ``util``) to machine-readable
 output.  The ``trace`` subcommand re-exports the spans stored in a
 saved :class:`~repro.obs.RunReport` as Chrome trace-event JSON
 (openable at https://ui.perfetto.dev) and prints the report's phase
-breakdown.  ``bench-gate`` runs the benchmark scenarios, gates them
+breakdown; ``--summary`` prints the phase table and per-lane
+utilization without writing any file.  ``whatif`` re-prices the
+analytic schedule under perturbed unit costs and predicts makespan /
+Figure-7 deltas plus the break-even point where the critical-path
+bottleneck shifts lanes.  ``bench-gate`` runs the benchmark scenarios, gates them
 against the append-only performance database and appends the new
 entries when the gate passes (exit 1 on regression; ``--faults`` adds
-the recovery-cost scenario, ``--serve`` the fleet-serving scenario).  ``calibrate`` microbenchmarks this host
+the recovery-cost scenario, ``--serve`` the fleet-serving scenario,
+``--explain`` prints a per-phase/per-op forensic diff of any
+regression).  ``calibrate`` microbenchmarks this host
 into a calibration profile and optionally checks its cost ratios for
 drift against the paper references.  ``train`` runs a federated
 training job on synthetic data with optional fault injection,
@@ -67,13 +75,14 @@ EXPERIMENTS: dict[str, tuple[str, object]] = {
     "table5": ("worker scalability (analytic)", lambda: experiments.run_table5()[1]),
     "table6": ("party scalability (hybrid)", _table6),
     "util": ("§6.2 resource utilization (analytic)", lambda: experiments.run_resource_utilization()[1]),
+    "critical": ("critical-path attribution + annotated Gantt (analytic)", lambda: experiments.run_critical_path()[1]),
 }
 
 
 def _trace_main(argv: list[str]) -> int:
     """``repro trace``: saved RunReport -> Chrome trace + phase table."""
-    from repro.bench.report import phase_table
-    from repro.obs import RunReport
+    from repro.bench.report import format_table, phase_table
+    from repro.obs import RunReport, Tracer
 
     parser = argparse.ArgumentParser(
         prog="repro trace",
@@ -86,9 +95,51 @@ def _trace_main(argv: list[str]) -> int:
         default=None,
         help="trace output path (default: <report stem>.trace.json)",
     )
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the phase table and per-lane utilization only; "
+        "no trace file is written",
+    )
     args = parser.parse_args(argv)
 
     report = RunReport.load(args.report)
+    if args.summary:
+        phases = report.phases
+        tracer = Tracer()
+        tracer.extend(report.span_objects())
+        if not phases:
+            phases = tracer.phase_totals()
+        if phases:
+            print(
+                phase_table(
+                    phases,
+                    title=f"{report.kind} run {report.label!r} phase breakdown:",
+                )
+            )
+        utilization = tracer.utilization()
+        if utilization:
+            busy = tracer.lane_busy()
+            print(
+                format_table(
+                    ["lane", "busy (s)", "utilization"],
+                    [
+                        [f"{track}#{lane}", f"{busy[(track, lane)]:.3f}",
+                         f"{fraction:6.1%}"]
+                        for (track, lane), fraction in utilization.items()
+                    ],
+                    title="per-lane utilization "
+                    f"(makespan {tracer.makespan:.3f}s):",
+                )
+            )
+        elif not phases:
+            print(
+                f"report {report.label!r} holds neither phases nor spans; "
+                "nothing to summarize",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     out = args.out
     if out is None:
         stem = args.report[:-5] if args.report.endswith(".json") else args.report
@@ -106,6 +157,118 @@ def _trace_main(argv: list[str]) -> int:
                 title=f"{report.kind} run {report.label!r} phase breakdown:",
             )
         )
+    return 0
+
+
+def _whatif_main(argv: list[str]) -> int:
+    """``repro whatif``: predict makespan deltas under cheaper ops."""
+    import json
+
+    from repro.obs.whatif import break_even, parse_speedups, run_whatif
+
+    parser = argparse.ArgumentParser(
+        prog="repro whatif",
+        description=(
+            "Re-price the recorded task graph under a perturbed cost "
+            "model and report predicted makespan / Figure-7 deltas and "
+            "critical-path bottleneck shifts — the decision tool for "
+            "crypto-backend work."
+        ),
+    )
+    parser.add_argument(
+        "--speedup",
+        action="append",
+        default=[],
+        metavar="OP=FACTOR",
+        help="speed an op family up by FACTOR (e.g. powmod=2, wan=4); "
+        "repeatable",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        help="price from a calibration profile JSON (repro calibrate -o) "
+        "instead of the paper cost model",
+    )
+    parser.add_argument(
+        "--break-even",
+        default=None,
+        metavar="OP",
+        help="sweep OP's speedup factor until the critical-path "
+        "bottleneck shifts to another lane",
+    )
+    parser.add_argument("--instances", type=int, default=None)
+    parser.add_argument("--features", type=int, default=None)
+    parser.add_argument("--trees", type=int, default=None)
+    parser.add_argument("--layers", type=int, default=None)
+    parser.add_argument("--bins", type=int, default=None)
+    parser.add_argument("--json", action="store_true", help="JSON output")
+    args = parser.parse_args(argv)
+
+    cost = None
+    if args.profile:
+        from repro.bench.calibrate import CalibrationProfile
+        from repro.bench.costmodel import CostModel
+
+        cost = CostModel.from_profile(CalibrationProfile.load(args.profile))
+    shape = None
+    overrides = {
+        "n_instances": args.instances,
+        "n_features": args.features,
+        "n_trees": args.trees,
+        "n_layers": args.layers,
+        "n_bins": args.bins,
+    }
+    if any(value is not None for value in overrides.values()):
+        from repro.obs.whatif import DEFAULT_SHAPE
+
+        shape = dict(DEFAULT_SHAPE)
+        shape.update(
+            {key: value for key, value in overrides.items() if value is not None}
+        )
+    try:
+        speedups = parse_speedups(args.speedup)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not speedups and not args.break_even:
+        print("error: pass --speedup OP=FACTOR and/or --break-even OP",
+              file=sys.stderr)
+        return 2
+
+    payload = {}
+    if speedups:
+        result = run_whatif(speedups, shape=shape, cost=cost)
+        if args.json:
+            payload["whatif"] = result.to_dict()
+        else:
+            for line in result.lines():
+                print(line)
+    if args.break_even:
+        try:
+            point = break_even(args.break_even, shape=shape, cost=cost)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if args.json:
+            payload["break_even"] = point
+        else:
+            if point["factor"] is None:
+                print(
+                    f"break-even: {point['op']} never shifts the bottleneck "
+                    f"off {point['bottleneck_before'] or '-'} (tried up to "
+                    "x128)"
+                )
+            else:
+                print(
+                    f"break-even: {point['op']} x{point['factor']:g} shifts "
+                    f"the bottleneck {point['bottleneck_before']} -> "
+                    f"{point['bottleneck_after']} "
+                    f"(makespan {point['makespan_before']:.3f}s -> "
+                    f"{point['makespan_after']:.3f}s, "
+                    f"{point['speedup_at_shift']:.2f}x)"
+                )
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
     return 0
 
 
@@ -180,6 +343,12 @@ def _bench_gate_main(argv: list[str]) -> int:
         help="append the new entries even when the gate fails",
     )
     parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="on failure, print a per-phase/per-op/per-lane diagnosis of "
+        "each regressed scenario (repro.obs.forensics differ)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="print the gate result as JSON instead of text",
@@ -197,10 +366,32 @@ def _bench_gate_main(argv: list[str]) -> int:
     result = gate(
         db, entries, window=args.window, measured_rtol=args.measured_rtol
     )
+    explanation: list[str] = []
+    if args.explain and not result.ok:
+        from repro.obs.forensics import explain_failures
+
+        by_name = {entry.name: entry for entry in entries}
+        failed: dict[str, set] = {}
+        for verdict in result.failures():
+            failed.setdefault(verdict.entry, set()).add(verdict.scalar)
+        for name in sorted(failed):
+            history = db.history(name)
+            if not history or name not in by_name:
+                explanation.append(f"{name}: no baseline history to diff")
+                continue
+            explanation.append(f"--- {name}: why the gate failed ---")
+            explanation.extend(
+                explain_failures(history[-1], by_name[name], failed[name])
+            )
     if args.json:
-        print(json.dumps(result.to_dict(), indent=1, sort_keys=True))
+        payload = result.to_dict()
+        if explanation:
+            payload["explanation"] = explanation
+        print(json.dumps(payload, indent=1, sort_keys=True))
     else:
         for line in result.lines():
+            print(line)
+        for line in explanation:
             print(line)
     if result.ok or args.force:
         for entry in entries:
@@ -522,6 +713,7 @@ def _faults_main(argv: list[str]) -> int:
 JSON_EXPERIMENTS: dict[str, object] = {
     "fig7": lambda: experiments.run_fig7_data(),
     "util": lambda: experiments.run_resource_utilization()[0],
+    "critical": lambda: experiments.run_critical_path()[0],
 }
 
 
@@ -531,6 +723,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "whatif":
+        return _whatif_main(argv[1:])
     if argv and argv[0] == "bench-gate":
         return _bench_gate_main(argv[1:])
     if argv and argv[0] == "calibrate":
@@ -566,6 +760,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:<8} {description}")
         print("  all      run every experiment")
         print("  trace    export Chrome trace from a saved run report")
+        print("  whatif   predict makespan deltas under cheaper ops")
         print("  bench-gate  run + gate benchmarks vs BENCH_perf.json")
         print("  calibrate   microbenchmark this host's crypto unit costs")
         print("  train       train on synthetic data (faults, checkpoints)")

@@ -93,6 +93,22 @@ class ScheduleResult:
             offset += self.per_tree[index]
         return spans
 
+    def critical_path_section(self) -> dict:
+        """Critical-path analysis of the run (RunReport v4 shape).
+
+        Per-tree paths laid end-to-end with the same offsets
+        :meth:`spans` uses; the section's ``total`` telescopes
+        bit-exactly to each tree's makespan and sums to the run
+        :attr:`makespan` with the identical left-to-right reduction
+        ``schedule()`` applies.  Empty unless scheduled with
+        ``collect_tasks=True``.
+        """
+        from repro.obs.critical import critical_path_section
+
+        if not self.task_graphs:
+            return {}
+        return critical_path_section(self.task_graphs, per_tree=self.per_tree)
+
     def run_report(self, label: str = "", config: dict | None = None):
         """Bundle this schedule as a :class:`~repro.obs.report.RunReport`."""
         from repro.obs.report import RunReport
@@ -110,6 +126,7 @@ class ScheduleResult:
             phases=dict(sorted(self.phase_totals.items())),
             makespan=self.makespan,
             spans=[span.to_dict() for span in self.spans()],
+            critical_path=self.critical_path_section(),
         )
 
 

@@ -215,6 +215,87 @@ class SimEngine:
         """Finish time of the last task."""
         return max((task.end for task in self.tasks), default=0.0)
 
+    def export_graph(self) -> dict:
+        """JSON-ready snapshot of the full schedule.
+
+        Carries everything :func:`SimEngine.from_graph` (and the
+        critical-path analyzer in :mod:`repro.obs.critical`) needs to
+        rebuild the schedule exactly: declared lane counts, every task
+        with its dependency edges, and the makespan.
+        """
+        return {
+            "resources": {
+                name: resource.lanes
+                for name, resource in sorted(self.resources.items())
+            },
+            "tasks": [
+                {
+                    "name": task.name,
+                    "phase": task.phase,
+                    "resource": task.resource,
+                    "lane": task.lane,
+                    "start": task.start,
+                    "end": task.end,
+                    "task_id": task.task_id,
+                    "deps": list(task.deps),
+                    "party": task.party,
+                }
+                for task in self.tasks
+            ],
+            "makespan": self.makespan,
+        }
+
+    @classmethod
+    def from_tasks(
+        cls, tasks: list[SimTask], lanes: dict[str, int] | None = None
+    ) -> "SimEngine":
+        """Rebuild an engine around already-scheduled tasks.
+
+        The timing fields are trusted as recorded (nothing is
+        re-scheduled); resources are reconstructed with enough lanes
+        for every task (or the declared ``lanes`` counts) and their
+        busy/free accounting replayed, so ``utilization()``,
+        ``phase_breakdown()`` and ``gantt()`` work on a loaded graph
+        exactly as on the engine that produced it.
+        """
+        engine = cls()
+        for name, count in sorted((lanes or {}).items()):
+            engine.add_resource(name, count)
+        for task in sorted(tasks, key=lambda t: t.task_id):
+            needed = task.lane + 1
+            resource = engine.resource(task.resource)
+            while resource.lanes < needed:
+                resource._free_at.append(0.0)
+            resource._free_at[task.lane] = max(
+                resource._free_at[task.lane], task.end
+            )
+            resource.busy_time += task.duration
+            engine.tasks.append(task)
+        return engine
+
+    @classmethod
+    def from_graph(cls, data: dict) -> "SimEngine":
+        """Inverse of :meth:`export_graph`."""
+        tasks = [
+            SimTask(
+                name=item["name"],
+                phase=item["phase"],
+                resource=item["resource"],
+                lane=int(item["lane"]),
+                start=float(item["start"]),
+                end=float(item["end"]),
+                task_id=int(item["task_id"]),
+                deps=tuple(item.get("deps", ())),
+                party=item.get("party"),
+            )
+            for item in data.get("tasks", [])
+        ]
+        lanes = {
+            name: int(count)
+            for name, count in data.get("resources", {}).items()
+        }
+        return cls.from_tasks(tasks, lanes=lanes)
+
     def by_phase(self) -> dict[str, list[SimTask]]:
         """Tasks grouped by phase tag, in submission order per group.
 
@@ -242,8 +323,56 @@ class SimEngine:
             return 0.0
         return resource.busy_time / horizon
 
-    def gantt(self, width: int = 72) -> str:
-        """Render an ASCII Gantt chart of all tasks (one row per lane)."""
+    def utilizations(self) -> dict[str, float]:
+        """Busy fraction of every resource, keys sorted."""
+        return {name: self.utilization(name) for name in sorted(self.resources)}
+
+    def lane_utilization(self) -> dict[tuple[str, int], float]:
+        """Busy fraction per (resource, lane), recomputed from tasks.
+
+        Finer-grained than :meth:`utilization` (which aggregates a
+        resource's lanes): the per-lane view is what ``repro trace
+        --summary`` prints and what exposes pipeline bubbles inside a
+        multi-lane compute pool.
+        """
+        horizon = self.makespan
+        busy: dict[tuple[str, int], float] = {
+            (name, lane): 0.0
+            for name, resource in self.resources.items()
+            for lane in range(resource.lanes)
+        }
+        for task in self.tasks:
+            key = (task.resource, task.lane)
+            busy[key] = busy.get(key, 0.0) + task.duration
+        if horizon <= 0:
+            return {key: 0.0 for key in sorted(busy)}
+        return {key: busy[key] / horizon for key in sorted(busy)}
+
+    def critical_path(self):
+        """Critical path of this schedule (:mod:`repro.obs.critical`).
+
+        The returned object's ``total`` is bit-equal to
+        :attr:`makespan`; see ``CriticalPath.self_check``.
+        """
+        from repro.obs.critical import critical_path
+
+        return critical_path(self.tasks)
+
+    def slack(self) -> dict[int, float]:
+        """Per-task slack seconds keyed by ``task_id`` (0.0 = critical)."""
+        from repro.obs.critical import compute_slack
+
+        return compute_slack(self.tasks)
+
+    def gantt(self, width: int = 72, highlight: set[int] | None = None) -> str:
+        """Render an ASCII Gantt chart of all tasks (one row per lane).
+
+        Args:
+            width: chart columns.
+            highlight: optional ``task_id`` set (e.g. a critical
+                path's); highlighted tasks render UPPERCASE and all
+                others lowercase, instead of the plain phase initial.
+        """
         horizon = self.makespan
         if horizon <= 0:
             return "(empty schedule)"
@@ -258,6 +387,12 @@ class SimEngine:
                 lo = int(task.start / horizon * (width - 1))
                 hi = max(lo + 1, int(task.end / horizon * (width - 1)) + 1)
                 symbol = (task.phase or task.name or "?")[0]
+                if highlight is not None:
+                    symbol = (
+                        symbol.upper()
+                        if task.task_id in highlight
+                        else symbol.lower()
+                    )
                 for k in range(lo, min(hi, width)):
                     cells[k] = symbol
             label = f"{resource}#{lane}".ljust(label_width)

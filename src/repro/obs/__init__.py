@@ -15,6 +15,21 @@ rest of the package (components are duck-typed), so ``crypto``/``fed``/
 ``serve`` can all report here without cycles.
 """
 
+from repro.obs.critical import (
+    CriticalPath,
+    PathSegment,
+    compute_slack,
+    critical_gantt,
+    critical_path,
+    critical_path_section,
+)
+from repro.obs.forensics import (
+    Contribution,
+    ReportDiff,
+    diff_reports,
+    diff_scalar_maps,
+    explain_failures,
+)
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     Histogram,
@@ -31,21 +46,37 @@ from repro.obs.trace_export import (
     write_chrome_trace,
 )
 from repro.obs.tracer import Span, Tracer, spans_from_tasks
+from repro.obs.whatif import WhatIfResult, break_even, parse_speedups, run_whatif
 
 __all__ = [
     "COUNT_BUCKETS",
+    "Contribution",
+    "CriticalPath",
     "Histogram",
     "HotPathProfiler",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
+    "PathSegment",
+    "ReportDiff",
     "RunReport",
     "Span",
     "Tracer",
+    "WhatIfResult",
+    "break_even",
     "channel_report",
     "chrome_trace",
     "chrome_trace_events",
+    "compute_slack",
+    "critical_gantt",
+    "critical_path",
+    "critical_path_section",
+    "diff_reports",
+    "diff_scalar_maps",
     "dumps_chrome_trace",
+    "explain_failures",
     "global_registry",
+    "parse_speedups",
+    "run_whatif",
     "spans_from_tasks",
     "write_chrome_trace",
 ]

@@ -245,6 +245,24 @@ class HotPathProfiler:
             phases.setdefault(phase, {})[op] = entry
         return {"timed": self.timed, "ops": ops, "phases": phases}
 
+    def counters(self) -> dict[str, float]:
+        """Flat ``name -> value`` map of the accumulated counts.
+
+        Keys: ``ops.{op}.count`` / ``ops.{op}.powmods`` plus
+        ``phase.{phase}.{op}.count`` — the shape the regression differ
+        (:func:`repro.obs.forensics.diff_scalar_maps`) and the Chrome
+        counter-event export consume directly.  Counts only (exact in
+        any mode); seconds stay in :meth:`summary`.
+        """
+        flat: dict[str, float] = {}
+        for (phase, op), record in sorted(self._records.items()):
+            ops_count = f"ops.{op}.count"
+            ops_powmods = f"ops.{op}.powmods"
+            flat[ops_count] = flat.get(ops_count, 0.0) + record.count
+            flat[ops_powmods] = flat.get(ops_powmods, 0.0) + record.powmods
+            flat[f"phase.{phase}.{op}.count"] = float(record.count)
+        return flat
+
     def merge_into(
         self,
         tracer,

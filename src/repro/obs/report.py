@@ -29,9 +29,11 @@ __all__ = ["RunReport", "channel_report"]
 #: ``profile`` (hot-path profiler summary) and ``artifacts`` (paths of
 #: sidecar files such as SLO event logs) fields; version 3 added the
 #: ``faults`` field (fault-injection / recovery summary of a reliable
-#: channel).  All optional with empty defaults, so older files load
-#: unchanged.
-REPORT_VERSION = 3
+#: channel); version 4 added the ``critical_path`` field (critical-path
+#: segments, makespan attribution and slack summary from
+#: :mod:`repro.obs.critical`).  All optional with empty defaults, so
+#: older files load unchanged.
+REPORT_VERSION = 4
 
 
 def channel_report(channel) -> dict:
@@ -88,6 +90,12 @@ class RunReport:
             (fault plan, drop/resend/dedupe tallies, recovery-clock
             seconds) when the run trained over a fault-injected
             channel.  Empty on fault-free runs.
+        critical_path: a
+            :func:`~repro.obs.critical.critical_path_section` (path
+            segments, (resource, lane, phase, op) makespan attribution,
+            bottleneck resource, slack summary) for schedule-kind runs
+            that collected task graphs.  Empty otherwise; the input of
+            the regression differ (:mod:`repro.obs.forensics`).
     """
 
     kind: str
@@ -102,6 +110,7 @@ class RunReport:
     profile: dict = field(default_factory=dict)
     artifacts: dict = field(default_factory=dict)
     faults: dict = field(default_factory=dict)
+    critical_path: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-ready representation (includes the schema version)."""
@@ -133,6 +142,11 @@ class RunReport:
     def write_chrome_trace(self, path: str) -> int:
         """Export the stored spans as Chrome trace JSON; returns count.
 
+        When the metrics snapshot carries counters (a
+        :meth:`MetricsRegistry.snapshot`), they are emitted as Chrome
+        counter tracks alongside the spans, so Perfetto shows op totals
+        next to the timeline.
+
         Raises:
             ValueError: when the report carries no spans (emitted
                 without ``--trace-out``-style span retention).
@@ -143,5 +157,6 @@ class RunReport:
                 f"report {self.label!r} holds no spans; re-run its "
                 "producer with span retention (e.g. --trace-out)"
             )
-        write_chrome_trace(path, spans)
+        counters = self.metrics.get("counters") if self.metrics else None
+        write_chrome_trace(path, spans, counters=counters or None)
         return len(spans)

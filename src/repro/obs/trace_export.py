@@ -16,7 +16,7 @@ order, and serialization uses sorted keys with fixed separators.
 from __future__ import annotations
 
 import json
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
 
 from repro.obs.tracer import Span
 
@@ -29,9 +29,27 @@ __all__ = [
 
 _US = 1_000_000  # seconds -> microseconds, Chrome's trace unit
 
+#: process name of the synthetic counter rows
+_COUNTER_TRACK = "counters"
 
-def chrome_trace_events(spans: Iterable[Span]) -> list[dict]:
-    """Spans -> Chrome trace-event dicts (metadata rows first)."""
+
+def chrome_trace_events(
+    spans: Iterable[Span],
+    counters: Mapping[str, float] | None = None,
+) -> list[dict]:
+    """Spans -> Chrome trace-event dicts (metadata rows first).
+
+    Args:
+        spans: the intervals to export.
+        counters: optional flat ``name -> value`` map (e.g. a
+            :meth:`MetricsRegistry.counters` snapshot); each becomes a
+            Chrome counter ("C") track under a synthetic ``counters``
+            process, so Perfetto plots op totals alongside the spans.
+            Values are run totals sampled once at the trace start and
+            once at its end — constant tracks, not time series (the
+            registry keeps no per-sample history).  Emission order is
+            sorted by name, keeping the export byte-deterministic.
+    """
     spans = list(spans)
     tracks = sorted({span.track for span in spans})
     pids = {track: pid for pid, track in enumerate(tracks, start=1)}
@@ -59,6 +77,33 @@ def chrome_trace_events(spans: Iterable[Span]) -> list[dict]:
                 "args": {"name": f"{track}/lane{lane}"},
             }
         )
+    if counters:
+        counter_pid = len(tracks) + 1
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": counter_pid,
+                "tid": 0,
+                "args": {"name": _COUNTER_TRACK},
+            }
+        )
+        horizon = max((span.end for span in spans), default=0.0)
+        sample_times = [0.0]
+        if horizon > 0:
+            sample_times.append(round(horizon * _US, 3))
+        for name, value in sorted(counters.items()):
+            for ts in sample_times:
+                events.append(
+                    {
+                        "name": name,
+                        "ph": "C",
+                        "ts": ts,
+                        "pid": counter_pid,
+                        "tid": 0,
+                        "args": {"value": float(value)},
+                    }
+                )
     ordered = sorted(
         spans, key=lambda s: (s.track, s.lane, s.start, s.end, s.name)
     )
@@ -78,20 +123,34 @@ def chrome_trace_events(spans: Iterable[Span]) -> list[dict]:
     return events
 
 
-def chrome_trace(spans: Iterable[Span]) -> dict:
+def chrome_trace(
+    spans: Iterable[Span],
+    counters: Mapping[str, float] | None = None,
+) -> dict:
     """Full trace document: {"traceEvents": [...], ...}."""
     return {
-        "traceEvents": chrome_trace_events(spans),
+        "traceEvents": chrome_trace_events(spans, counters=counters),
         "displayTimeUnit": "ms",
     }
 
 
-def dumps_chrome_trace(spans: Iterable[Span]) -> str:
+def dumps_chrome_trace(
+    spans: Iterable[Span],
+    counters: Mapping[str, float] | None = None,
+) -> str:
     """Serialize with repeatable bytes (sorted keys, no whitespace)."""
-    return json.dumps(chrome_trace(spans), sort_keys=True, separators=(",", ":"))
+    return json.dumps(
+        chrome_trace(spans, counters=counters),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
 
 
-def write_chrome_trace(path: str, spans: Iterable[Span]) -> None:
+def write_chrome_trace(
+    path: str,
+    spans: Iterable[Span],
+    counters: Mapping[str, float] | None = None,
+) -> None:
     """Write a Perfetto-loadable trace file to ``path``."""
     with open(path, "w") as handle:
-        handle.write(dumps_chrome_trace(spans))
+        handle.write(dumps_chrome_trace(spans, counters=counters))

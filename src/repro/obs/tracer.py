@@ -167,6 +167,28 @@ class Tracer:
             totals[span.category] = totals.get(span.category, 0.0) + span.duration
         return dict(sorted(totals.items()))
 
+    def lane_busy(self) -> dict[tuple[str, int], float]:
+        """Busy seconds per (track, lane), keys sorted.
+
+        The span-side equivalent of ``SimEngine.lane_utilization()``
+        before dividing by the horizon — what ``repro trace --summary``
+        tabulates from a saved report without re-running the producer.
+        """
+        busy: dict[tuple[str, int], float] = {}
+        for span in self.spans:
+            key = (span.track, span.lane)
+            busy[key] = busy.get(key, 0.0) + span.duration
+        return dict(sorted(busy.items()))
+
+    def utilization(self) -> dict[tuple[str, int], float]:
+        """Busy fraction per (track, lane) over the makespan."""
+        horizon = self.makespan
+        if horizon <= 0:
+            return {key: 0.0 for key in self.lane_busy()}
+        return {
+            key: busy / horizon for key, busy in self.lane_busy().items()
+        }
+
     @property
     def makespan(self) -> float:
         """Latest span end (0.0 when empty); starts are clamped at 0."""

@@ -258,6 +258,25 @@ def _fleet_sweep(
                 "parity_bit_identical": bool(parity),
             }
         )
+    # Attribute each scale-out step's p99 movement: diff every entry
+    # against the smallest fleet with the shared forensics differ, so
+    # the report says *what* moved with the latency (shed volume,
+    # degraded routes, burn alerts) — not just that it moved.
+    if sweep:
+        from repro.obs.forensics import diff_scalar_maps
+
+        attributed = (
+            "p99", "shed", "degraded", "deadline_misses", "burn_alerts",
+            "completed",
+        )
+        base = {key: float(sweep[0][key]) for key in attributed}
+        for entry in sweep[1:]:
+            entry["p99_attribution"] = [
+                contribution.to_dict()
+                for contribution in diff_scalar_maps(
+                    base, {key: float(entry[key]) for key in attributed}
+                )
+            ]
     return {
         "trace": trace,
         "rate": load.rate,

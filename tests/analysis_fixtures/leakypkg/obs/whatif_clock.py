@@ -1,0 +1,15 @@
+"""DET001 fixture: a what-if explorer that timestamps its predictions.
+
+The real :mod:`repro.obs.whatif` re-prices a *recorded* task graph, so
+two runs over the same graph must byte-match; stamping the result with
+``time.time()`` makes every prediction unique and un-diffable.
+"""
+
+import time
+
+
+def predict_makespan(baseline: float, speedup: float) -> dict:
+    return {
+        "predicted": baseline / speedup,
+        "computed_at": time.time(),
+    }

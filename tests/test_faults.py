@@ -348,7 +348,7 @@ class TestFaultMatrix:
             retry_policy=RetryPolicy(max_retries=8),
         )
         report = result.run_report(label="faulted").to_dict()
-        assert report["version"] == 3
+        assert report["version"] >= 3  # faults field arrived in v3
         assert report["faults"]["drops"] > 0
         assert report["faults"]["plan"]["drop_rate"] == 0.1
         assert report["faults"]["recovery_seconds"] > 0

@@ -143,7 +143,12 @@ class TestCountedScenario:
         assert counted.name == "counted-train"
         for key, scalar in counted.scalars.items():
             assert scalar.kind == "exact", key
-            assert scalar.value > 0, key
+            # critical.wait is legitimately 0.0 on a stall-free
+            # schedule; everything else must be strictly positive
+            if key == "critical.wait":
+                assert scalar.value >= 0, key
+            else:
+                assert scalar.value > 0, key
         assert {"ops.enc", "ops.dec", "ops.hadd", "sim_makespan"} <= set(
             counted.scalars
         )

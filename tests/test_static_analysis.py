@@ -31,6 +31,7 @@ EXPECTED_RULES = [
     ("DET001", "leakypkg/serve/rogue_batch.py"),
     ("DET001", "leakypkg/serve/fleet_shed.py"),
     ("DET001", "leakypkg/obs/clocky.py"),
+    ("DET001", "leakypkg/obs/whatif_clock.py"),
     ("DET001", "leakypkg/bench/stale_profile.py"),
     ("CR001", "leakypkg/crosskey.py"),
     ("CR002", "leakypkg/crosskey.py"),
