@@ -40,6 +40,7 @@ __all__ = [
     "fig7_scenario",
     "serve_fleet_scenario",
     "gate",
+    "gate_events",
 ]
 
 #: database file schema version
@@ -768,3 +769,24 @@ def gate(
                 )
             )
     return GateResult(verdicts=tuple(verdicts))
+
+
+def gate_events(result: GateResult, log, now: float = 0.0) -> int:
+    """Mirror a gate run's verdicts into a flight-recorder event log.
+
+    One event per verdict under subsystem ``"bench.gate"`` — kind
+    ``"gate_pass"`` or ``"gate_regression"`` — so bench-gate outcomes
+    interleave with the rest of the unified event stream and incident
+    bundles can carry them.  Returns the number of events emitted.
+    """
+    for verdict in result.verdicts:
+        log.emit(
+            now,
+            "bench.gate",
+            "gate_pass" if verdict.ok else "gate_regression",
+            labels={"entry": verdict.entry, "scalar": verdict.scalar},
+            value=verdict.value,
+            baseline=verdict.baseline,
+            reason=verdict.reason,
+        )
+    return len(result.verdicts)

@@ -14,6 +14,9 @@ Usage::
     python -m repro calibrate -o profile.json --check
     python -m repro train --trees 8 --checkpoint-dir ckpts --fault-seed 7
     python -m repro faults --sweep
+    python -m repro events serve.events.jsonl --subsystem serve.slo
+    python -m repro incidents list --dir incidents
+    python -m repro incidents diff 1 2 --dir incidents
 
 Each experiment prints its rendered table; heavier experiments accept
 the same keyword knobs through the library API (see
@@ -37,6 +40,12 @@ drift against the paper references.  ``train`` runs a federated
 training job on synthetic data with optional fault injection,
 checkpointing and resume; ``faults`` sweeps fault rates and verifies
 the fault-free model is reproduced bit-exactly at every point.
+``events`` filters and pretty-prints a flight-recorder stream (an
+``--events-out`` JSONL or the ``events`` field of a saved RunReport);
+``incidents`` lists, shows and diffs the post-mortem bundles a
+failure drops into ``--incident-dir`` (``--smoke`` runs a tiny
+crash-and-resume training job end to end and checks the bundle it
+produces — the tier-1 wiring).
 """
 
 from __future__ import annotations
@@ -282,6 +291,7 @@ def _bench_gate_main(argv: list[str]) -> int:
         faults_scenario,
         fig7_scenario,
         gate,
+        gate_events,
         serve_fleet_scenario,
     )
 
@@ -349,6 +359,12 @@ def _bench_gate_main(argv: list[str]) -> int:
         "each regressed scenario (repro.obs.forensics differ)",
     )
     parser.add_argument(
+        "--incident-dir",
+        default=None,
+        help="on regression, drop a bench_regression post-mortem bundle "
+        "(verdict events + failure context) into this directory",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="print the gate result as JSON instead of text",
@@ -404,6 +420,35 @@ def _bench_gate_main(argv: list[str]) -> int:
             file=sys.stderr if args.json else sys.stdout,
         )
     if not result.ok:
+        if args.incident_dir:
+            from repro.obs.events import EventLog
+            from repro.obs.incident import IncidentStore, snapshot_incident
+
+            log = EventLog()
+            gate_events(result, log)
+            bundle = snapshot_incident(
+                "bench_regression",
+                label=args.db,
+                event_log=log,
+                context={
+                    "failures": [
+                        {
+                            "entry": verdict.entry,
+                            "scalar": verdict.scalar,
+                            "value": verdict.value,
+                            "baseline": verdict.baseline,
+                            "reason": verdict.reason,
+                        }
+                        for verdict in result.failures()
+                    ],
+                    "explanation": explanation,
+                },
+            )
+            path = IncidentStore(args.incident_dir).save(bundle)
+            print(
+                f"wrote incident bundle {path}",
+                file=sys.stderr if args.json else sys.stdout,
+            )
         print(
             f"bench gate FAILED: {len(result.failures())} regression(s)",
             file=sys.stderr,
@@ -546,6 +591,12 @@ def _train_main(argv: list[str]) -> int:
     )
     parser.add_argument("--max-retries", type=int, default=6)
     parser.add_argument(
+        "--incident-dir",
+        default=None,
+        help="drop post-mortem bundles (crashes, fault recoveries) here; "
+        "inspect them with 'repro incidents'",
+    )
+    parser.add_argument(
         "--model-out", default=None, help="write the model skeleton here"
     )
     parser.add_argument(
@@ -565,7 +616,7 @@ def _train_main(argv: list[str]) -> int:
         seed=args.seed,
     )
     plan = _plan_from_args(args)
-    trainer = FederatedTrainer(config)
+    trainer = FederatedTrainer(config, incident_dir=args.incident_dir)
     result = trainer.fit_resilient(
         parties,
         labels,
@@ -586,6 +637,12 @@ def _train_main(argv: list[str]) -> int:
             f"{result.faults['dedupe_dropped']} deduped, "
             f"{resumed} resume(s), "
             f"{result.faults['recovery_seconds']:.2f}s recovery"
+        )
+    if result.incidents:
+        print(
+            f"incidents: {len(result.incidents)} bundle(s) in "
+            f"{args.incident_dir} (inspect with 'repro incidents list "
+            f"--dir {args.incident_dir}')"
         )
     if args.model_out:
         stem = (
@@ -709,6 +766,235 @@ def _faults_main(argv: list[str]) -> int:
     return 0
 
 
+def _events_main(argv: list[str]) -> int:
+    """``repro events``: filter/pretty-print a flight-recorder stream."""
+    import json
+
+    from repro.obs.events import event_from_wire, read_events_jsonl
+
+    parser = argparse.ArgumentParser(
+        prog="repro events",
+        description=(
+            "Filter and pretty-print a flight-recorder event stream: an "
+            "--events-out JSONL file, or the 'events' field of a saved "
+            "RunReport JSON."
+        ),
+    )
+    parser.add_argument(
+        "path", help="events JSONL (--events-out) or RunReport JSON"
+    )
+    parser.add_argument(
+        "--subsystem", default=None, help="keep only this producer"
+    )
+    parser.add_argument("--kind", default=None, help="keep only this kind")
+    parser.add_argument(
+        "--tail", type=int, default=0, help="keep only the last N (after filters)"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print flat wire dicts as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.path) as handle:
+        text = handle.read()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        data = None
+    if isinstance(data, dict) and isinstance(data.get("events"), list):
+        events = [event_from_wire(record) for record in data["events"]]
+    elif isinstance(data, dict):
+        events = [event_from_wire(data)]
+    else:
+        events = read_events_jsonl(args.path)
+
+    total = len(events)
+    if args.subsystem is not None:
+        events = [e for e in events if e.subsystem == args.subsystem]
+    if args.kind is not None:
+        events = [e for e in events if e.kind == args.kind]
+    if args.tail > 0:
+        events = events[-args.tail:]
+    if args.json:
+        print(json.dumps([e.to_dict() for e in events], indent=1,
+                         sort_keys=True))
+        return 0
+    for e in events:
+        extras = " ".join(
+            f"{key}={e.payload[key]}" for key in sorted(e.payload)
+        )
+        print(f"{e.time:>10.3f}s  {e.subsystem:<14} {e.kind:<22} {extras}")
+    print(f"({len(events)} of {total} events shown)")
+    return 0
+
+
+def _incidents_smoke(json_out: bool = False) -> int:
+    """A tiny crash-and-resume training job must drop a valid bundle."""
+    import json
+    import os
+    import tempfile
+
+    from repro.core.config import VF2BoostConfig
+    from repro.core.trainer import FederatedTrainer
+    from repro.fed.faults import FaultPlan
+    from repro.fed.retry import RetryPolicy
+    from repro.obs.incident import IncidentStore
+
+    parties, labels = _synthetic_parties(120, 6, 8, seed=3)
+    config = VF2BoostConfig.vf2boost(
+        params=GBDTParams(n_trees=2, n_layers=3, n_bins=8),
+        crypto_mode="counted",
+    )
+    plan = FaultPlan(seed=3, drop_rate=0.05, crash_after_trees=(0,))
+    with tempfile.TemporaryDirectory() as tmp:
+        incident_dir = os.path.join(tmp, "incidents")
+        trainer = FederatedTrainer(config, incident_dir=incident_dir)
+        result = trainer.fit_resilient(
+            parties,
+            labels,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_retries=8),
+            checkpoint_dir=os.path.join(tmp, "ckpts"),
+        )
+        store = IncidentStore(incident_dir)
+        paths = store.paths()
+        failures = []
+        if not result.incidents or not paths:
+            failures.append("no incident bundle was written")
+        else:
+            first = store.load(1)
+            reloaded = store.load(os.path.basename(paths[0]))
+            if first.kind != "training_interrupted":
+                failures.append(
+                    f"first bundle kind {first.kind!r}, expected "
+                    "'training_interrupted'"
+                )
+            if first.fingerprint() != reloaded.fingerprint():
+                failures.append("bundle fingerprint changed across reload")
+            if not first.events:
+                failures.append("crash bundle captured no events")
+        summary = {
+            "ok": not failures,
+            "bundles": [os.path.basename(path) for path in paths],
+            "failures": failures,
+        }
+    if json_out:
+        print(json.dumps(summary, indent=1, sort_keys=True))
+    else:
+        for name in summary["bundles"]:
+            print(f"bundle: {name}")
+        print("incident smoke " + ("OK" if summary["ok"] else "FAILED"))
+    if failures:
+        for failure in failures:
+            print(f"incident smoke: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _incidents_main(argv: list[str]) -> int:
+    """``repro incidents``: list/show/diff post-mortem bundles."""
+    import json
+
+    from repro.obs.incident import IncidentStore, diff_bundles
+
+    parser = argparse.ArgumentParser(
+        prog="repro incidents",
+        description=(
+            "Inspect the post-mortem bundles a failure drops into "
+            "--incident-dir: list them, show one, or diff two."
+        ),
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default="list",
+        choices=("list", "show", "diff"),
+        help="list (default), show <ref>, or diff <ref> <ref>",
+    )
+    parser.add_argument(
+        "refs",
+        nargs="*",
+        help="bundle references: 1-based index, file name, or path",
+    )
+    parser.add_argument(
+        "--dir",
+        default="incidents",
+        help="incident directory (default: incidents)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run a tiny crash-and-resume training job and verify the "
+        "bundle it produces (tier-1 wiring); ignores action/refs",
+    )
+    parser.add_argument("--json", action="store_true", help="JSON output")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return _incidents_smoke(json_out=args.json)
+
+    store = IncidentStore(args.dir)
+    if args.action == "list":
+        rows = store.rows()
+        if args.json:
+            print(json.dumps(rows, indent=1, sort_keys=True))
+            return 0
+        if not rows:
+            print(f"no incident bundles in {args.dir}")
+            return 0
+        for index, row in enumerate(rows, start=1):
+            label = f" [{row['label']}]" if row["label"] else ""
+            print(
+                f"{index:>3}  {row['kind']:<22}{label} t={row['time']:.3f}s "
+                f"events={row['events']} open_alerts={row['open_alerts']} "
+                f"fp={row['fingerprint']}  {row['file']}"
+            )
+        return 0
+    if args.action == "show":
+        if len(args.refs) != 1:
+            print("error: show takes exactly one bundle reference",
+                  file=sys.stderr)
+            return 2
+        try:
+            bundle = store.load(args.refs[0])
+        except (LookupError, OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(bundle.to_json())
+        else:
+            print(bundle.headline())
+            for key, value in sorted(bundle.context.items()):
+                print(f"  context.{key}: {value}")
+            for episode in bundle.open_alerts:
+                print(f"  open alert: {episode.get('rule', '?')}")
+            for record in bundle.events[-10:]:
+                print(
+                    f"  {record.get('time', 0.0):>10.3f}s "
+                    f"{record.get('subsystem', ''):<14} "
+                    f"{record.get('kind', '')}"
+                )
+        return 0
+    # diff
+    if len(args.refs) != 2:
+        print("error: diff takes exactly two bundle references",
+              file=sys.stderr)
+        return 2
+    try:
+        left = store.load(args.refs[0])
+        right = store.load(args.refs[1])
+    except (LookupError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    lines = diff_bundles(left, right)
+    if args.json:
+        print(json.dumps({"diff": lines}, indent=1, sort_keys=True))
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
 #: experiments with a machine-readable variant (``--json``)
 JSON_EXPERIMENTS: dict[str, object] = {
     "fig7": lambda: experiments.run_fig7_data(),
@@ -733,6 +1019,10 @@ def main(argv: list[str] | None = None) -> int:
         return _train_main(argv[1:])
     if argv and argv[0] == "faults":
         return _faults_main(argv[1:])
+    if argv and argv[0] == "events":
+        return _events_main(argv[1:])
+    if argv and argv[0] == "incidents":
+        return _incidents_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate VF2Boost (SIGMOD 2021) evaluation artifacts.",
@@ -765,6 +1055,8 @@ def main(argv: list[str] | None = None) -> int:
         print("  calibrate   microbenchmark this host's crypto unit costs")
         print("  train       train on synthetic data (faults, checkpoints)")
         print("  faults      recovery-cost sweep + model-identity check")
+        print("  events      filter/pretty-print a flight-recorder stream")
+        print("  incidents   list/show/diff post-mortem bundles")
         return 0
     if "all" in requested:
         requested = list(EXPERIMENTS)

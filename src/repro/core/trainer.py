@@ -65,6 +65,7 @@ from repro.fed.messages import (
 )
 from repro.gbdt.binning import BinnedDataset
 from repro.gbdt.boosting import EvalRecord
+from repro.obs.events import EventLog
 from repro.gbdt.histogram import Histogram, build_histogram
 from repro.gbdt.loss import Loss, get_loss
 from repro.gbdt.metrics import auc
@@ -148,6 +149,14 @@ class TrainResult:
             fault plan was active — drop/resend/dedupe tallies plus the
             recovery-clock seconds the faults cost.  Empty on
             fault-free runs.
+        events: the trainer's unified event log as flat wire dicts
+            (:meth:`~repro.obs.events.EventLog.to_dicts`) — phase,
+            tree, checkpoint and crash transitions interleaved with the
+            reliable channel's fault events.
+        incidents: paths of incident bundles snapshotted during the
+            run (crash post-mortems, fault-recovery summaries), in
+            creation order.  Populated only when the trainer was given
+            an ``incident_dir``.
     """
 
     model: FederatedModel
@@ -157,6 +166,8 @@ class TrainResult:
     crypto_stats: dict[int, "OpStats"] = field(default_factory=dict)
     profile: dict = field(default_factory=dict)
     faults: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    incidents: list = field(default_factory=list)
 
     def run_report(self, label: str = "", config: dict | None = None):
         """Bundle this run as a :class:`~repro.obs.report.RunReport`.
@@ -186,6 +197,8 @@ class TrainResult:
             },
             profile=dict(self.profile),
             faults=dict(self.faults),
+            events=list(self.events),
+            incidents=list(self.incidents),
         )
 
 
@@ -204,6 +217,18 @@ class FederatedTrainer:
             hot-path samples land attributed, and the summary rides on
             :attr:`TrainResult.profile`.  Only meaningful in ``"real"``
             crypto mode, where Paillier ops physically execute.
+        event_log: optional shared
+            :class:`~repro.obs.events.EventLog`; the trainer always
+            records into one (its own when none is given) — phase,
+            tree, checkpoint and crash transitions under subsystem
+            ``"trainer"``, plus the reliable channel's fault events
+            when a plan is active.  Pure metadata: no channel traffic,
+            no crypto ops, so golden op counts are untouched.
+        incident_dir: when set, a crash
+            (:class:`TrainingInterrupted`) and a survivable-fault
+            recovery each snapshot an
+            :class:`~repro.obs.incident.IncidentBundle` into this
+            directory; paths ride on :attr:`TrainResult.incidents`.
 
     Example:
         >>> config = VF2BoostConfig.vf2boost(crypto_mode="counted")
@@ -212,11 +237,19 @@ class FederatedTrainer:
     """
 
     def __init__(
-        self, config: VF2BoostConfig, registry=None, profiler=None
+        self,
+        config: VF2BoostConfig,
+        registry=None,
+        profiler=None,
+        event_log=None,
+        incident_dir: str | None = None,
     ) -> None:
         self.config = config
         self.registry = registry
         self.profiler = profiler
+        self.events = event_log if event_log is not None else EventLog()
+        self.incident_dir = incident_dir
+        self.incidents: list[str] = []
         self.loss: Loss = get_loss(config.params.objective)
         self._real = config.crypto_mode == "real"
 
@@ -225,6 +258,37 @@ class FederatedTrainer:
         if self.profiler is None:
             return nullcontext()
         return self.profiler.phase_scope(name)
+
+    def _emit_event(self, channel, kind: str, **payload) -> None:
+        """Record one trainer transition on the recovery clock.
+
+        The timestamp is the reliable channel's fault-recovery clock
+        when one is active (the only simulated clock a training run
+        has) and 0.0 on fault-free runs — ``seq`` preserves ordering
+        either way.
+        """
+        now = channel.clock if isinstance(channel, ReliableChannel) else 0.0
+        self.events.emit(now, "trainer", kind, **payload)
+
+    def _snapshot_incident(
+        self, kind: str, channel, fault_plan, context: dict
+    ) -> None:
+        """Save one post-mortem bundle into ``incident_dir``."""
+        from repro.obs.incident import IncidentStore, snapshot_incident
+
+        now = channel.clock if isinstance(channel, ReliableChannel) else 0.0
+        bundle = snapshot_incident(
+            kind,
+            time=now,
+            event_log=self.events,
+            registry=self.registry,
+            profiler=self.profiler,
+            channel=channel,
+            fault_plan=fault_plan,
+            context=context,
+        )
+        store = IncidentStore(self.incident_dir)
+        self.incidents.append(store.save(bundle))
 
     # ------------------------------------------------------------------
     # Public API
@@ -354,6 +418,7 @@ class FederatedTrainer:
                 plan=fault_plan,
                 policy=retry_policy,
                 registry=self.registry,
+                event_log=self.events,
             )
         context = self._make_context() if self._real else None
         public_contexts = (
@@ -410,8 +475,17 @@ class FederatedTrainer:
                 )
             if self.registry is not None:
                 self.registry.inc("fed.checkpoint.resumed")
+            import os
+
+            self._emit_event(
+                channel,
+                "checkpoint_resumed",
+                next_tree=start_tree,
+                checkpoint=os.path.basename(resume_from),
+            )
 
         for t in range(start_tree, params.n_trees):
+            self._emit_event(channel, "tree_start", tree=t)
             gradients, hessians = self.loss.gradients(labels, margins)
             tree, tree_trace = self._train_tree(
                 t,
@@ -439,6 +513,9 @@ class FederatedTrainer:
                 except ValueError:
                     record.valid_auc = None
             history.append(record)
+            self._emit_event(
+                channel, "tree_end", tree=t, train_loss=record.train_loss
+            )
             checkpoint_path = None
             if checkpoint_dir is not None:
                 import os
@@ -457,6 +534,12 @@ class FederatedTrainer:
                 )
                 if self.registry is not None:
                     self.registry.inc("fed.checkpoint.written")
+                self._emit_event(
+                    channel,
+                    "checkpoint_written",
+                    tree=t,
+                    checkpoint=os.path.basename(checkpoint_path),
+                )
             if (
                 fault_plan is not None
                 and fault_plan.crashes_after(t)
@@ -464,7 +547,41 @@ class FederatedTrainer:
             ):
                 if self.registry is not None:
                     self.registry.inc("fed.faults.crashes")
+                import os
+
+                self._emit_event(
+                    channel,
+                    "crash",
+                    tree=t,
+                    checkpoint=os.path.basename(checkpoint_path),
+                )
+                if self.incident_dir is not None:
+                    self._snapshot_incident(
+                        "training_interrupted",
+                        channel,
+                        fault_plan,
+                        context={
+                            "completed_trees": t + 1,
+                            "checkpoint": os.path.basename(checkpoint_path),
+                        },
+                    )
                 raise TrainingInterrupted(checkpoint_path, t + 1)
+        if (
+            self.incident_dir is not None
+            and isinstance(channel, ReliableChannel)
+            and (channel.counters.drops or channel.counters.resends)
+        ):
+            self._snapshot_incident(
+                "fault_recovery",
+                channel,
+                fault_plan,
+                context={
+                    "recovery_seconds": channel.clock,
+                    "drops": channel.counters.drops,
+                    "resends": channel.counters.resends,
+                    "dedupe_dropped": channel.counters.dedupe_dropped,
+                },
+            )
         crypto_stats: dict[int, OpStats] = {}
         if context is not None:
             crypto_stats[ACTIVE] = context.stats.snapshot()
@@ -480,6 +597,8 @@ class FederatedTrainer:
             faults=(
                 channel.summary() if isinstance(channel, ReliableChannel) else {}
             ),
+            events=self.events.to_dicts(),
+            incidents=list(self.incidents),
         )
 
     # ------------------------------------------------------------------
@@ -504,6 +623,7 @@ class FederatedTrainer:
         hess_ciphers: list | None = None
         pair_codec: GradHessCodec | None = None
         n_exponents = self.config.exponent_jitter
+        self._emit_event(channel, "phase", name="GradEnc", tree=tree_index)
         with self._phase("GradEnc"):
             if self._real:
                 if self.config.pair_packing:
@@ -540,6 +660,9 @@ class FederatedTrainer:
             layer = LayerTrace(depth=depth)
             next_frontier: list[int] = []
             # Each party builds this layer's histograms for its columns.
+            self._emit_event(
+                channel, "phase", name="Histogram", tree=tree_index, depth=depth
+            )
             with self._phase("Histogram"):
                 active_hists = {
                     node_id: build_histogram(
@@ -559,6 +682,9 @@ class FederatedTrainer:
                     context,
                     public_contexts,
                 )
+            self._emit_event(
+                channel, "phase", name="Split", tree=tree_index, depth=depth
+            )
             with self._phase("Split"):
                 for node_id in frontier:
                     rows = node_rows[node_id]
@@ -602,6 +728,7 @@ class FederatedTrainer:
                 break
 
         # Leaf weights (Equation 1), computed by B and broadcast.
+        self._emit_event(channel, "phase", name="Leaf", tree=tree_index)
         with self._phase("Leaf"):
             weights: dict[int, float] = {}
             for node in tree.nodes.values():

@@ -36,6 +36,7 @@ from repro.fed.channel import RecordingChannel
 from repro.fed.faults import FaultPlan
 from repro.fed.messages import Ack, Message
 from repro.fed.retry import RetryPolicy
+from repro.obs.events import Event
 
 __all__ = ["DeliveryError", "FaultEvent", "ReliableChannel"]
 
@@ -82,6 +83,26 @@ class FaultEvent:
             "message_type": self.message_type,
         }
 
+    def to_event(self) -> Event:
+        """The same record on the unified event schema.
+
+        ``kind``/``time`` map onto the Event envelope, the message
+        direction becomes labels, and the remaining fields ride in the
+        payload — so the flat wire dict keeps every legacy field name.
+        """
+        return Event(
+            time=self.time,
+            subsystem="fed.reliable",
+            kind=self.kind,
+            labels={"sender": self.sender, "receiver": self.receiver},
+            payload={
+                "duration": self.duration,
+                "seq": self.seq,
+                "attempt": self.attempt,
+                "message_type": self.message_type,
+            },
+        )
+
 
 @dataclass
 class _Counters:
@@ -110,6 +131,10 @@ class ReliableChannel:
             defaults.
         registry: metrics registry for ``fed.*`` counters; falls back
             to the inner channel's registry.
+        event_log: optional :class:`~repro.obs.events.EventLog`; every
+            :class:`FaultEvent` is mirrored into it on the unified
+            schema (subsystem ``"fed.reliable"``) for the flight
+            recorder.  Pure metadata — no wire bytes, no crypto ops.
 
     Unknown attributes delegate to the inner channel, so report
     builders consuming ``stats`` / ``stats_report()`` / ``key_bits``
@@ -122,11 +147,13 @@ class ReliableChannel:
         plan: FaultPlan | None = None,
         policy: RetryPolicy | None = None,
         registry=None,
+        event_log=None,
     ) -> None:
         self.inner = inner
         self.plan = plan if plan is not None and not plan.is_null else None
         self.policy = policy if policy is not None else RetryPolicy()
         self.registry = registry if registry is not None else inner.registry
+        self.event_log = event_log
         self.clock = 0.0
         self.events: list[FaultEvent] = []
         self.counters = _Counters()
@@ -217,7 +244,7 @@ class ReliableChannel:
             return
         self.counters.delivery_failures += 1
         self._inc("fed.delivery.failures")
-        self.events.append(
+        self._record(
             FaultEvent(
                 kind="delivery_failure",
                 time=self.clock,
@@ -257,7 +284,7 @@ class ReliableChannel:
         count: str,
     ) -> None:
         """Record one fault event, advance the recovery clock, count it."""
-        self.events.append(
+        self._record(
             FaultEvent(
                 kind=kind,
                 time=self.clock,
@@ -273,6 +300,12 @@ class ReliableChannel:
         setattr(self.counters, count, getattr(self.counters, count) + 1)
         prefix = "fed.retry" if count == "resends" else "fed.faults"
         self._inc(f"{prefix}.{count}")
+
+    def _record(self, event: FaultEvent) -> None:
+        """Keep the legacy list and mirror into the unified log."""
+        self.events.append(event)
+        if self.event_log is not None:
+            self.event_log.append(event.to_event())
 
     def _inc(self, name: str, value: int = 1) -> None:
         if self.registry is not None:

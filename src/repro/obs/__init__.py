@@ -15,6 +15,14 @@ rest of the package (components are duck-typed), so ``crypto``/``fed``/
 ``serve`` can all report here without cycles.
 """
 
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    band_rule,
+    burn_rate_rule,
+    rate_rule,
+    threshold_rule,
+)
 from repro.obs.critical import (
     CriticalPath,
     PathSegment,
@@ -29,6 +37,14 @@ from repro.obs.forensics import (
     diff_reports,
     diff_scalar_maps,
     explain_failures,
+)
+from repro.obs.events import Event, EventLog, event_from_wire, read_events_jsonl
+from repro.obs.incident import (
+    BUNDLE_VERSION,
+    IncidentBundle,
+    IncidentStore,
+    diff_bundles,
+    snapshot_incident,
 )
 from repro.obs.metrics import (
     COUNT_BUCKETS,
@@ -49,11 +65,18 @@ from repro.obs.tracer import Span, Tracer, spans_from_tasks
 from repro.obs.whatif import WhatIfResult, break_even, parse_speedups, run_whatif
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "BUNDLE_VERSION",
     "COUNT_BUCKETS",
     "Contribution",
     "CriticalPath",
+    "Event",
+    "EventLog",
     "Histogram",
     "HotPathProfiler",
+    "IncidentBundle",
+    "IncidentStore",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
     "PathSegment",
@@ -62,7 +85,9 @@ __all__ = [
     "Span",
     "Tracer",
     "WhatIfResult",
+    "band_rule",
     "break_even",
+    "burn_rate_rule",
     "channel_report",
     "chrome_trace",
     "chrome_trace_events",
@@ -70,13 +95,19 @@ __all__ = [
     "critical_gantt",
     "critical_path",
     "critical_path_section",
+    "diff_bundles",
     "diff_reports",
     "diff_scalar_maps",
     "dumps_chrome_trace",
+    "event_from_wire",
     "explain_failures",
     "global_registry",
     "parse_speedups",
+    "rate_rule",
+    "read_events_jsonl",
     "run_whatif",
+    "snapshot_incident",
     "spans_from_tasks",
+    "threshold_rule",
     "write_chrome_trace",
 ]

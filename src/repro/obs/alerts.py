@@ -1,0 +1,340 @@
+"""Declarative, deterministic alert engine over the metrics registry.
+
+An :class:`AlertEngine` holds a list of :class:`AlertRule`\\ s and is
+evaluated explicitly at simulated-clock instants
+(:meth:`AlertEngine.evaluate`); it never reads a wall clock and keeps
+no hidden timers, so two identical runs open and close exactly the
+same alert episodes at exactly the same timestamps.  Rule kinds:
+
+* ``"threshold"`` — a gauge or counter compared against a bound
+  (``op`` is ``">="`` or ``"<="``);
+* ``"rate"`` — a counter's increase over a sliding time window
+  (``window`` simulated seconds) exceeds ``value``.  The window is
+  exact: an increment stops counting at the first evaluation whose
+  timestamp is at least ``window`` past it, so an alert opened by a
+  burst closes precisely one window after the burst ends;
+* ``"burn_rate"`` — sugar for a ``>=`` threshold on the SLO watcher's
+  ``serve.slo.burn_rate`` gauge (see :mod:`repro.serve.slo`);
+* ``"band"`` — a gauge leaving the closed interval ``[low, high]``
+  (calibration / golden-metric drift).
+
+Transitions are emitted as ``alert_open`` / ``alert_close`` events into
+a shared :class:`~repro.obs.events.EventLog` (subsystem
+``"obs.alerts"``) and overlay the Chrome trace export as instant
+events (:meth:`AlertEngine.instant_events`).  A rule with
+``incident=True`` additionally snapshots an
+:class:`~repro.obs.incident.IncidentBundle` the moment it opens — the
+SLO-burn trigger of the flight recorder.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "band_rule",
+    "burn_rate_rule",
+    "rate_rule",
+    "threshold_rule",
+]
+
+_KINDS = ("threshold", "rate", "burn_rate", "band")
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative alert condition.
+
+    Attributes:
+        name: unique rule name (the alert's identity in events).
+        kind: one of ``threshold`` / ``rate`` / ``burn_rate`` / ``band``.
+        metric: registry name read at evaluation (gauge for
+            threshold/burn_rate/band, counter for rate).
+        op: threshold comparison, ``">="`` (default) or ``"<="``.
+        value: threshold bound, burn-rate bound, or rate limit
+            (maximum counter increase per window before firing).
+        window: sliding-window seconds (rate rules only).
+        low / high: the allowed closed band (band rules only).
+        incident: snapshot an incident bundle when this rule opens
+            (requires the engine to hold an incident store).
+    """
+
+    name: str
+    kind: str
+    metric: str
+    op: str = ">="
+    value: float = 0.0
+    window: float = 0.0
+    low: float = 0.0
+    high: float = 0.0
+    incident: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown rule kind {self.kind!r}")
+        if self.op not in (">=", "<="):
+            raise ValueError(f"op must be '>=' or '<=', got {self.op!r}")
+        if self.kind == "rate" and self.window <= 0.0:
+            raise ValueError("rate rules need a positive window")
+        if self.kind == "band" and self.low > self.high:
+            raise ValueError("band low must be <= high")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "metric": self.metric,
+            "op": self.op,
+            "value": self.value,
+            "window": self.window,
+            "low": self.low,
+            "high": self.high,
+            "incident": self.incident,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AlertRule":
+        return cls(**data)
+
+
+def threshold_rule(
+    name: str, metric: str, value: float, op: str = ">=", **kwargs
+) -> AlertRule:
+    """A gauge/counter threshold rule."""
+    return AlertRule(
+        name=name, kind="threshold", metric=metric, op=op, value=value, **kwargs
+    )
+
+
+def rate_rule(
+    name: str, metric: str, window: float, limit: float, **kwargs
+) -> AlertRule:
+    """Fire when ``metric`` (a counter) grows more than ``limit`` per
+    ``window`` simulated seconds."""
+    return AlertRule(
+        name=name, kind="rate", metric=metric, window=window, value=limit,
+        **kwargs,
+    )
+
+
+def burn_rate_rule(
+    name: str,
+    value: float = 1.0,
+    metric: str = "serve.slo.burn_rate",
+    **kwargs,
+) -> AlertRule:
+    """Fire while the SLO burn-rate gauge is at or above ``value``."""
+    return AlertRule(
+        name=name, kind="burn_rate", metric=metric, value=value, **kwargs
+    )
+
+
+def band_rule(
+    name: str, metric: str, low: float, high: float, **kwargs
+) -> AlertRule:
+    """Fire while a gauge sits outside the closed ``[low, high]`` band."""
+    return AlertRule(
+        name=name, kind="band", metric=metric, low=low, high=high, **kwargs
+    )
+
+
+@dataclass
+class _RuleState:
+    """Mutable per-rule evaluation state."""
+
+    open_episode: dict | None = None
+    #: (time, counter value) samples for rate rules, oldest first
+    samples: deque = field(default_factory=deque)
+
+
+class AlertEngine:
+    """Evaluates rules against a registry on the injected clock.
+
+    Args:
+        registry: the shared
+            :class:`~repro.obs.metrics.MetricsRegistry` read at every
+            evaluation.
+        rules: the rule list; names must be unique.  Evaluation order
+            is the list order (deterministic).
+        event_log: optional :class:`~repro.obs.events.EventLog` that
+            receives ``alert_open`` / ``alert_close`` events.
+        labels: constant labels merged into every emitted event.
+        incident_store: optional
+            :class:`~repro.obs.incident.IncidentStore`; rules flagged
+            ``incident=True`` snapshot a bundle there when they open.
+        incident_context: extra JSON-ready context attached to those
+            bundles (e.g. the producing scenario's config).
+    """
+
+    def __init__(
+        self,
+        registry,
+        rules: list[AlertRule],
+        event_log=None,
+        labels: dict | None = None,
+        incident_store=None,
+        incident_context: dict | None = None,
+    ) -> None:
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError("alert rule names must be unique")
+        self.registry = registry
+        self.rules = list(rules)
+        self.event_log = event_log
+        self.labels = dict(labels or {})
+        self.incident_store = incident_store
+        self.incident_context = dict(incident_context or {})
+        self.episodes: list[dict] = []
+        self.evaluations = 0
+        self.incidents: list[str] = []
+        self._state = {rule.name: _RuleState() for rule in self.rules}
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _observe(self, rule: AlertRule, state: _RuleState, now: float):
+        """(observed value, firing?) for one rule at ``now``."""
+        if rule.kind == "rate":
+            current = float(self.registry.get(rule.metric))
+            samples = state.samples
+            samples.append((now, current))
+            # Drop samples once a full window has passed them; the
+            # newest dropped sample's value stays as the baseline via
+            # the next retained sample being >= it... keep exactly one
+            # sample at or before the window start as the baseline.
+            while len(samples) > 1 and samples[1][0] <= now - rule.window:
+                samples.popleft()
+            baseline = samples[0][1]
+            delta = current - baseline
+            return delta, delta > rule.value
+        value = float(self.registry.gauge(rule.metric, 0.0))
+        if rule.kind == "threshold" and not value:
+            # A threshold rule may watch a counter instead of a gauge.
+            counter = self.registry.get(rule.metric)
+            if counter:
+                value = float(counter)
+        if rule.kind == "band":
+            return value, value < rule.low or value > rule.high
+        if rule.op == "<=":
+            return value, value <= rule.value
+        return value, value >= rule.value
+
+    def evaluate(self, now: float) -> list[dict]:
+        """Evaluate every rule at simulated time ``now``.
+
+        Returns the transitions that occurred, in rule order (each a
+        reference into :attr:`episodes`).
+        """
+        self.evaluations += 1
+        transitions: list[dict] = []
+        for rule in self.rules:
+            state = self._state[rule.name]
+            value, firing = self._observe(rule, state, now)
+            if firing and state.open_episode is None:
+                episode = {
+                    "rule": rule.name,
+                    "kind": rule.kind,
+                    "metric": rule.metric,
+                    "opened": now,
+                    "value": value,
+                }
+                state.open_episode = episode
+                self.episodes.append(episode)
+                transitions.append(episode)
+                self._emit("alert_open", now, rule, value)
+                if rule.incident and self.incident_store is not None:
+                    self._snapshot(rule, now, value)
+            elif not firing and state.open_episode is not None:
+                episode = state.open_episode
+                episode["closed"] = now
+                episode["close_value"] = value
+                state.open_episode = None
+                transitions.append(episode)
+                self._emit("alert_close", now, rule, value)
+        return transitions
+
+    def _emit(self, kind: str, now: float, rule: AlertRule, value) -> None:
+        if self.event_log is None:
+            return
+        self.event_log.emit(
+            now,
+            "obs.alerts",
+            kind,
+            labels={**self.labels, "rule": rule.name},
+            metric=rule.metric,
+            value=value,
+        )
+
+    def _snapshot(self, rule: AlertRule, now: float, value) -> None:
+        from repro.obs.incident import snapshot_incident
+
+        bundle = snapshot_incident(
+            "slo_burn",
+            label=rule.name,
+            time=now,
+            event_log=self.event_log,
+            registry=self.registry,
+            alerts=self,
+            context={
+                **self.incident_context,
+                "rule": rule.to_dict(),
+                "value": value,
+            },
+        )
+        self.incidents.append(self.incident_store.save(bundle))
+
+    # ------------------------------------------------------------------
+    # Read
+    # ------------------------------------------------------------------
+    def open_alerts(self) -> list[dict]:
+        """Currently-open episodes, in rule order."""
+        return [
+            dict(self._state[rule.name].open_episode)
+            for rule in self.rules
+            if self._state[rule.name].open_episode is not None
+        ]
+
+    def instant_events(self) -> list[dict]:
+        """Alert transitions as Chrome-trace instant-event descriptors.
+
+        Each open (and close, when present) becomes one
+        ``{"name", "time", "args"}`` dict the trace exporter renders as
+        a ``ph: "i"`` instant on a synthetic ``alerts`` process.
+        """
+        instants: list[dict] = []
+        for episode in self.episodes:
+            instants.append(
+                {
+                    "name": f"alert_open:{episode['rule']}",
+                    "time": episode["opened"],
+                    "args": {
+                        "metric": episode["metric"],
+                        "value": episode["value"],
+                    },
+                }
+            )
+            if "closed" in episode:
+                instants.append(
+                    {
+                        "name": f"alert_close:{episode['rule']}",
+                        "time": episode["closed"],
+                        "args": {
+                            "metric": episode["metric"],
+                            "value": episode["close_value"],
+                        },
+                    }
+                )
+        return instants
+
+    def summary(self) -> dict:
+        """JSON-ready posture (the RunReport v5 ``alerts`` field)."""
+        return {
+            "rules": [rule.to_dict() for rule in self.rules],
+            "evaluations": self.evaluations,
+            "episodes": [dict(episode) for episode in self.episodes],
+            "open": self.open_alerts(),
+            "incidents": list(self.incidents),
+        }

@@ -31,9 +31,13 @@ __all__ = ["RunReport", "channel_report"]
 #: ``faults`` field (fault-injection / recovery summary of a reliable
 #: channel); version 4 added the ``critical_path`` field (critical-path
 #: segments, makespan attribution and slack summary from
-#: :mod:`repro.obs.critical`).  All optional with empty defaults, so
-#: older files load unchanged.
-REPORT_VERSION = 4
+#: :mod:`repro.obs.critical`); version 5 added the flight-recorder
+#: fields ``events`` (unified event-log tail,
+#: :mod:`repro.obs.events`), ``alerts`` (alert-engine summary,
+#: :mod:`repro.obs.alerts`) and ``incidents`` (paths of incident
+#: bundles snapshotted during the run, :mod:`repro.obs.incident`).
+#: All optional with empty defaults, so older files load unchanged.
+REPORT_VERSION = 5
 
 
 def channel_report(channel) -> dict:
@@ -96,6 +100,17 @@ class RunReport:
             bottleneck resource, slack summary) for schedule-kind runs
             that collected task graphs.  Empty otherwise; the input of
             the regression differ (:mod:`repro.obs.forensics`).
+        events: the run's unified event log as flat wire dicts
+            (:meth:`~repro.obs.events.EventLog.to_dicts`) — fault
+            injections, trainer phase/tree/checkpoint transitions, SLO
+            violations, shed decisions, canary transitions, alert
+            open/close.  Alert events (subsystem ``"obs.alerts"``)
+            additionally overlay the Chrome trace as instant markers.
+        alerts: an :meth:`~repro.obs.alerts.AlertEngine.summary`
+            (rules, episodes, open alerts, incident paths) when the
+            run evaluated alert rules.
+        incidents: paths of :class:`~repro.obs.incident.IncidentBundle`
+            files snapshotted during the run, in creation order.
     """
 
     kind: str
@@ -111,6 +126,9 @@ class RunReport:
     artifacts: dict = field(default_factory=dict)
     faults: dict = field(default_factory=dict)
     critical_path: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    alerts: dict = field(default_factory=dict)
+    incidents: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         """JSON-ready representation (includes the schema version)."""
@@ -145,7 +163,9 @@ class RunReport:
         When the metrics snapshot carries counters (a
         :meth:`MetricsRegistry.snapshot`), they are emitted as Chrome
         counter tracks alongside the spans, so Perfetto shows op totals
-        next to the timeline.
+        next to the timeline.  Alert events stored in :attr:`events`
+        (subsystem ``"obs.alerts"``) become instant markers on a
+        synthetic ``alerts`` process.
 
         Raises:
             ValueError: when the report carries no spans (emitted
@@ -158,5 +178,19 @@ class RunReport:
                 "producer with span retention (e.g. --trace-out)"
             )
         counters = self.metrics.get("counters") if self.metrics else None
-        write_chrome_trace(path, spans, counters=counters or None)
+        instants = [
+            {
+                "name": f"{item.get('kind', '')}:{item.get('rule', '')}",
+                "time": item.get("time", 0.0),
+                "args": {
+                    "metric": item.get("metric", ""),
+                    "value": item.get("value", 0.0),
+                },
+            }
+            for item in self.events
+            if item.get("subsystem") == "obs.alerts"
+        ]
+        write_chrome_trace(
+            path, spans, counters=counters or None, instants=instants or None
+        )
         return len(spans)

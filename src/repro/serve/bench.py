@@ -47,9 +47,13 @@ from repro.fed.messages import RouteQuery
 from repro.gbdt.binning import bin_dataset
 from repro.gbdt.params import GBDTParams
 from repro.obs import (
+    AlertEngine,
+    EventLog,
     MetricsRegistry,
     RunReport,
     Tracer,
+    band_rule,
+    burn_rate_rule,
     channel_report,
     write_chrome_trace,
 )
@@ -87,8 +91,10 @@ def _train(seed: int, n_train: int, n_features: int, params: GBDTParams):
     return result.model, parties
 
 
-def _build_registry(model, parties) -> ModelRegistry:
-    registry = ModelRegistry()
+def _build_registry(
+    model, parties, event_log=None, event_labels=None
+) -> ModelRegistry:
+    registry = ModelRegistry(event_log=event_log, event_labels=event_labels)
     registry.register(
         "v1",
         model,
@@ -173,6 +179,7 @@ def _fleet_sweep(
     smoke: bool,
     trace: str,
     replica_counts: list[int],
+    event_log=None,
 ) -> dict:
     """p99 vs. replica count over one seeded heavy-tail trace.
 
@@ -231,6 +238,8 @@ def _fleet_sweep(
             cluster=cluster,
             serve_config=fleet_serve,
             metrics_registry=metrics,
+            event_log=event_log,
+            slo_labels={"scenario": f"fleet{n_replicas}"},
         )
         for request in requests:
             fleet.submit(request)
@@ -303,6 +312,7 @@ def _canary_stage(
     params: GBDTParams,
     n_train: int,
     n_features: int,
+    event_log=None,
 ) -> dict:
     """Two rollouts through the canary state machine.
 
@@ -327,7 +337,10 @@ def _canary_stage(
     requests = make_requests(load)
 
     def rollout(candidate: str, candidate_model, candidate_parties) -> dict:
-        registry = _build_registry(model, parties)
+        arm = {"scenario": "canary", "arm": candidate}
+        registry = _build_registry(
+            model, parties, event_log=event_log, event_labels=arm
+        )
         registry.register(
             candidate,
             candidate_model,
@@ -348,12 +361,16 @@ def _canary_stage(
                 seed=seed,
                 expect_identical=True,
             ),
+            event_log=event_log,
+            labels=arm,
         )
         fleet = ServingFleet(
             registry,
             FleetConfig(n_replicas=2, seed=seed, shed=None),
             cluster=cluster,
             canary=controller,
+            event_log=event_log,
+            slo_labels=arm,
         )
         for request in requests:
             fleet.submit(request)
@@ -391,9 +408,12 @@ def run_bench(
         report_out: also write a :class:`~repro.obs.RunReport` whose
             phase totals equal the trace's per-category duration sums
             and whose metrics come from the shared registry.
-        events_out: also write the SLO watchers' structured event logs
-            (timeouts, degraded routing, burn alerts) as JSONL; the
-            path lands in the RunReport under ``artifacts["events"]``.
+        events_out: also write the bench's unified flight-recorder
+            event log as JSONL — every scenario's SLO events plus
+            fleet shed decisions, canary / registry transitions and
+            alert open/close, each line tagged with its scenario label;
+            the path lands in the RunReport under
+            ``artifacts["events"]``.
     """
     if smoke:
         params = GBDTParams(n_trees=3, n_layers=4, n_bins=8)
@@ -424,11 +444,19 @@ def run_bench(
 
     # --- micro-batched serving runtime --------------------------------
     # One observability sink for the whole batched scenario: serve
-    # counters, channel traffic and the span trace all land here.
+    # counters, channel traffic and the span trace all land here.  One
+    # flight-recorder event log for the whole bench: SLO watchers,
+    # fleet shed decisions, canary transitions, registry hot-swaps and
+    # alert transitions all interleave in it, each tagged with its
+    # scenario.  Capacity is sized so no smoke or full run evicts.
     obs_registry = MetricsRegistry()
     tracer = Tracer()
+    event_log = EventLog(capacity=65536)
     slo = SLOWatcher(
-        SLOPolicy(), registry=obs_registry, labels={"scenario": "batched"}
+        SLOPolicy(),
+        registry=obs_registry,
+        labels={"scenario": "batched"},
+        event_log=event_log,
     )
     runtime = ServingRuntime(
         registry,
@@ -490,7 +518,10 @@ def run_bench(
         slow_delay=1.0,
     )
     degraded_slo = SLOWatcher(
-        SLOPolicy(), registry=obs_registry, labels={"scenario": "degraded"}
+        SLOPolicy(),
+        registry=obs_registry,
+        labels={"scenario": "degraded"},
+        event_log=event_log,
     )
     degraded_runtime = ServingRuntime(
         registry,
@@ -500,15 +531,44 @@ def run_bench(
         party_delay=make_party_delay(degraded_load),
         slo=degraded_slo,
     )
-    run_closed_loop(
+    degraded_completions = run_closed_loop(
         degraded_runtime, make_requests(degraded_load), degraded_load.concurrency
     )
     degraded_snapshot = degraded_runtime.snapshot()
 
+    # --- alert engine over the shared registry ------------------------
+    # Evaluated at two deterministic instants: the end of the healthy
+    # batched scenario (rules quiet) and the end of the degraded
+    # scenario (burn-rate and p99-band rules fire on the gauges the
+    # degraded watcher just published).  The second instant is offset
+    # past the first because each runtime's simulated clock starts at
+    # zero — the offset keeps the alert timeline monotone.
+    alert_engine = AlertEngine(
+        obs_registry,
+        [
+            burn_rate_rule("slo-burn", value=1.0),
+            band_rule("p99-band", "serve.slo.p99", 0.0, SLOPolicy().latency_slo),
+        ],
+        event_log=event_log,
+        labels={"scenario": "bench"},
+    )
+    alert_engine.evaluate(wall)
+    degraded_wall = max(
+        (outcome.finished for outcome in degraded_completions), default=0.0
+    )
+    alert_engine.evaluate(wall + degraded_wall)
+
     # --- fleet sweep + canary rollout ---------------------------------
     replica_counts = replicas or ([1, 2] if smoke else [1, 2, 4, 8])
     fleet_report = _fleet_sweep(
-        registry, feature_dims, cluster, seed, smoke, trace, replica_counts
+        registry,
+        feature_dims,
+        cluster,
+        seed,
+        smoke,
+        trace,
+        replica_counts,
+        event_log=event_log,
     )
     fleet_report["canary"] = _canary_stage(
         model,
@@ -520,6 +580,7 @@ def run_bench(
         params,
         n_train,
         n_features,
+        event_log=event_log,
     )
 
     batched_rt_1k = snapshot["per_1k_predictions"]["round_trips"]
@@ -571,12 +632,15 @@ def run_bench(
         },
         "slo": slo.summary(),
         "fleet": fleet_report,
+        "alerts": alert_engine.summary(),
+        "event_log": event_log.summary(),
     }
 
     if events_out:
-        n_events = slo.write_jsonl(events_out)
-        n_events += degraded_slo.write_jsonl(events_out, append=True)
-        report["events_written"] = n_events
+        # One unified stream: every scenario's SLO events plus fleet
+        # shed decisions, canary/registry transitions and alert
+        # open/close, each line tagged with its scenario label.
+        report["events_written"] = event_log.write_jsonl(events_out)
 
     if trace_out or report_out:
         run_report = RunReport(
@@ -589,9 +653,15 @@ def run_bench(
             makespan=tracer.makespan,
             spans=[span.to_dict() for span in tracer.spans],
             artifacts={"events": events_out} if events_out else {},
+            events=event_log.to_dicts(),
+            alerts=alert_engine.summary(),
         )
         if trace_out:
-            write_chrome_trace(trace_out, tracer.spans)
+            write_chrome_trace(
+                trace_out,
+                tracer.spans,
+                instants=alert_engine.instant_events() or None,
+            )
         if report_out:
             run_report.save(report_out)
     return report

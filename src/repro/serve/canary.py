@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.core.inference import apply_route, route_local, split_frontier
 from repro.core.trainer import ACTIVE
+from repro.obs.events import Event
 from repro.serve.registry import ModelRegistry, ModelVersion
 from repro.serve.session import Prediction, Request
 
@@ -150,9 +151,29 @@ class CanaryController:
     controller).  All decisions run on completion timestamps from the
     simulated clock — the controller is as deterministic as the loop
     it watches.
+
+    Args:
+        registry: the model registry holding incumbent and candidate.
+        config: the rollout policy.
+        event_log: optional shared
+            :class:`~repro.obs.events.EventLog`; every transition is
+            mirrored into it under subsystem ``"serve.canary"``.
+        labels: constant labels (scenario / arm tags) merged into every
+            emitted event.
+        incident_store: optional
+            :class:`~repro.obs.incident.IncidentStore`; a rollback
+            snapshots a ``canary_rollback`` post-mortem bundle there
+            (path recorded in :attr:`incidents`).
     """
 
-    def __init__(self, registry: ModelRegistry, config: CanaryConfig) -> None:
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: CanaryConfig,
+        event_log=None,
+        labels: dict | None = None,
+        incident_store=None,
+    ) -> None:
         self.registry = registry
         self.config = config
         self.incumbent = registry.active()
@@ -160,7 +181,11 @@ class CanaryController:
         if self.candidate.version == self.incumbent.version:
             raise ValueError("candidate is already the active version")
         self.state = "canary"
-        self.events: list[dict] = []
+        self.event_log = event_log
+        self.labels = dict(labels or {})
+        self.incident_store = incident_store
+        self.incidents: list[str] = []
+        self._records: list[Event] = []
         self.mismatches = 0
         self.canary_served = 0
         self.baseline_served = 0
@@ -256,7 +281,7 @@ class CanaryController:
             self._promote(now)
 
     def _promote(self, now: float) -> None:
-        self.registry.activate(self.candidate.version)  # the hot-swap path
+        self.registry.activate(self.candidate.version, now=now)  # hot-swap
         self.state = "promoted"
         self._emit("promoted", now, version=self.candidate.version)
 
@@ -266,11 +291,41 @@ class CanaryController:
         # from the next select() on.
         self.state = "rolled_back"
         self._emit("rolled_back", now, version=self.candidate.version)
+        if self.incident_store is not None:
+            from repro.obs.incident import snapshot_incident
+
+            bundle = snapshot_incident(
+                "canary_rollback",
+                label=self.candidate.version,
+                time=now,
+                event_log=self.event_log,
+                context={
+                    "candidate": self.candidate.version,
+                    "incumbent": self.incumbent.version,
+                    "mismatches": self.mismatches,
+                    "canary_served": self.canary_served,
+                    "baseline_served": self.baseline_served,
+                    "state": self.state,
+                },
+            )
+            self.incidents.append(self.incident_store.save(bundle))
 
     def _emit(self, event: str, now: float, **fields) -> None:
-        record = {"event": event, "time": now}
-        record.update(fields)
-        self.events.append(record)
+        record = Event(
+            time=now,
+            subsystem="serve.canary",
+            kind=event,
+            labels=dict(self.labels),
+            payload=dict(fields),
+        )
+        self._records.append(record)
+        if self.event_log is not None:
+            self.event_log.append(record)
+
+    @property
+    def events(self) -> list[dict]:
+        """Transitions in the pre-unification flat shape (compat)."""
+        return [record.legacy_dict() for record in self._records]
 
     # ------------------------------------------------------------------
     # Introspection

@@ -200,6 +200,13 @@ class ServingFleet:
             ``observe`` with the originating request.
         on_complete: optional callback fed every outcome — completions
             *and* fleet-level sheds — in event order.
+        event_log: optional shared
+            :class:`~repro.obs.events.EventLog`; per-replica SLO
+            watchers mirror their events into it and every shed
+            decision is recorded under subsystem ``"serve.fleet"``.
+        slo_labels: constant labels (scenario / arm tags) merged into
+            every watcher's and shed event's labels, in addition to the
+            per-watcher ``replica`` index.
     """
 
     def __init__(
@@ -215,6 +222,8 @@ class ServingFleet:
         version_selector=None,
         canary=None,
         on_complete=None,
+        event_log=None,
+        slo_labels: dict | None = None,
     ) -> None:
         self.registry = registry
         self.config = config or FleetConfig()
@@ -226,13 +235,19 @@ class ServingFleet:
             self.config.n_replicas, self.config.seed, self.config.vnodes
         )
         self._on_complete = on_complete
+        self.event_log = event_log
+        self.slo_labels = dict(slo_labels or {})
         self._requests: dict[int, Request] = {}  # in flight, by request id
         self.completed: list[Prediction] = []
         self.shed_ids: list[int] = []
         self.watchers: list[SLOWatcher] = []
         self.replicas: list[ServingRuntime] = []
         for i in range(self.config.n_replicas):
-            watcher = SLOWatcher(self.config.slo, labels={"replica": i})
+            watcher = SLOWatcher(
+                self.config.slo,
+                labels={**self.slo_labels, "replica": i},
+                event_log=event_log,
+            )
             self.watchers.append(watcher)
             runtime = ServingRuntime(
                 registry,
@@ -265,6 +280,16 @@ class ServingFleet:
             self.metrics.inc(_PREFIX + "shed")
             self.metrics.inc(_PREFIX + f"replica{replica}.shed")
             self.shed_ids.append(request.request_id)
+            if self.event_log is not None:
+                self.event_log.emit(
+                    now,
+                    "serve.fleet",
+                    "shed",
+                    labels={**self.slo_labels, "replica": replica},
+                    request_id=request.request_id,
+                    session=request.session_key(),
+                    burn_rate=self.watchers[replica].burn_rate(),
+                )
             empty = np.zeros(0, dtype=np.float64)
             outcome = Prediction(
                 request_id=request.request_id,

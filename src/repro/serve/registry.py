@@ -73,12 +73,21 @@ class ModelRegistry:
     atomic under the in-process serving model, and the pattern a
     multi-process deployment would implement with an atomic pointer in
     shared config.
+
+    Args:
+        event_log: optional shared
+            :class:`~repro.obs.events.EventLog`; activations and
+            rollbacks are recorded under subsystem ``"serve.registry"``
+            (kinds ``hot_swap`` / ``rollback``).
+        event_labels: constant labels merged into those events.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, event_log=None, event_labels: dict | None = None) -> None:
         self._versions: dict[str, ModelVersion] = {}
         self._order: list[str] = []
         self._active: ModelVersion | None = None
+        self.event_log = event_log
+        self.event_labels = dict(event_labels or {})
 
     # ------------------------------------------------------------------
     # Registration
@@ -168,12 +177,26 @@ class ModelRegistry:
     # ------------------------------------------------------------------
     # Activation / lookup
     # ------------------------------------------------------------------
-    def activate(self, version: str) -> ModelVersion:
-        """Atomically make a registered version the serving default."""
+    def activate(self, version: str, now: float = 0.0) -> ModelVersion:
+        """Atomically make a registered version the serving default.
+
+        ``now`` timestamps the hot-swap event on the simulated clock
+        (0.0 for control-plane activations outside any event loop).
+        """
         entry = self._versions.get(version)
         if entry is None:
             raise KeyError(f"version {version!r} is not registered")
+        previous = self._active.version if self._active is not None else ""
         self._active = entry
+        if self.event_log is not None:
+            self.event_log.emit(
+                now,
+                "serve.registry",
+                "hot_swap",
+                labels=dict(self.event_labels),
+                version=version,
+                previous=previous,
+            )
         return entry
 
     def active(self) -> ModelVersion:
@@ -194,11 +217,20 @@ class ModelRegistry:
         """Labels in registration order."""
         return list(self._order)
 
-    def rollback(self) -> ModelVersion:
+    def rollback(self, now: float = 0.0) -> ModelVersion:
         """Re-activate the version registered before the active one."""
         if self._active is None:
             raise LookupError("no model version activated")
         position = self._order.index(self._active.version)
         if position == 0:
             raise LookupError("no earlier version to roll back to")
-        return self.activate(self._order[position - 1])
+        if self.event_log is not None:
+            self.event_log.emit(
+                now,
+                "serve.registry",
+                "rollback",
+                labels=dict(self.event_labels),
+                from_version=self._active.version,
+                to_version=self._order[position - 1],
+            )
+        return self.activate(self._order[position - 1], now=now)

@@ -12,10 +12,17 @@ open a ``burn_alert`` episode, closed when the rate drops back.
 
 Every noteworthy transition — timeouts, degraded routing after an
 exhausted retry budget, rejected admissions, degraded completions,
-burn-alert open/close — is appended to a structured event list with
-stable key order, exportable as JSONL (:meth:`SLOWatcher.write_jsonl`)
-and referenced from the serve bench's :class:`~repro.obs.RunReport`
-under ``artifacts["events"]``.
+burn-alert open/close — is recorded as a unified
+:class:`~repro.obs.events.Event` (subsystem ``"serve.slo"``),
+exportable as JSONL (:meth:`SLOWatcher.write_jsonl`) and referenced
+from the serve bench's :class:`~repro.obs.RunReport` under
+``artifacts["events"]``.  :attr:`SLOWatcher.events` keeps the
+pre-unification flat-dict shape (``{"event", "time", **labels,
+**fields}``) so existing consumers read it unchanged, while the JSONL
+lines carry the full schema (``kind``/``subsystem`` alongside the
+legacy ``event`` alias).  When the watcher is given a shared
+:class:`~repro.obs.events.EventLog`, every record is also appended
+there, interleaved with the rest of the flight recorder.
 
 The watcher also publishes ``serve.slo.*`` gauges and counters into a
 shared :class:`~repro.obs.metrics.MetricsRegistry` when given one, so
@@ -24,9 +31,10 @@ SLO posture lands in the same snapshot as the runtime's own counters.
 
 from __future__ import annotations
 
-import json
 from collections import deque
 from dataclasses import dataclass
+
+from repro.obs.events import Event
 
 __all__ = ["SLOPolicy", "SLOWatcher"]
 
@@ -80,6 +88,9 @@ class SLOWatcher:
             ``serve.slo.<event>`` counters there.
         labels: constant key/values merged into every event (scenario
             tags in multi-runtime benches).
+        event_log: optional shared
+            :class:`~repro.obs.events.EventLog` every record is
+            mirrored into (the flight recorder's unified stream).
     """
 
     def __init__(
@@ -87,13 +98,15 @@ class SLOWatcher:
         policy: SLOPolicy | None = None,
         registry=None,
         labels: dict | None = None,
+        event_log=None,
     ) -> None:
         self.policy = policy or SLOPolicy()
         self.registry = registry
         self.labels = dict(labels or {})
+        self.event_log = event_log
         #: (latency, breached) of the most recent completions
         self._window: deque = deque(maxlen=self.policy.window)
-        self.events: list[dict] = []
+        self._records: list[Event] = []
         self.completions = 0
         self.breaches = 0
         self.alert_open = False
@@ -103,12 +116,28 @@ class SLOWatcher:
     # Event plumbing
     # ------------------------------------------------------------------
     def _emit(self, event: str, now: float, **fields) -> None:
-        record = {"event": event, "time": now}
-        record.update(self.labels)
-        record.update(fields)
-        self.events.append(record)
+        record = Event(
+            time=now,
+            subsystem="serve.slo",
+            kind=event,
+            labels=dict(self.labels),
+            payload=dict(fields),
+        )
+        self._records.append(record)
+        if self.event_log is not None:
+            self.event_log.append(record)
         if self.registry is not None:
             self.registry.inc(_PREFIX + event)
+
+    @property
+    def events(self) -> list[dict]:
+        """The records in the pre-unification flat shape.
+
+        ``{"event": kind, "time": time, **labels, **fields}`` — exactly
+        the dicts the watcher built before the unified schema, so strict
+        consumers (tests, notebooks) see byte-identical structures.
+        """
+        return [record.legacy_dict() for record in self._records]
 
     def _publish_gauges(self) -> None:
         if self.registry is not None:
@@ -195,8 +224,8 @@ class SLOWatcher:
     def summary(self) -> dict:
         """JSON-ready posture: policy, totals, window stats, events."""
         counts: dict[str, int] = {}
-        for record in self.events:
-            counts[record["event"]] = counts.get(record["event"], 0) + 1
+        for record in self._records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
         return {
             "policy": self.policy.to_dict(),
             "completions": self.completions,
@@ -209,14 +238,17 @@ class SLOWatcher:
         }
 
     def event_lines(self) -> list[str]:
-        """Each event as one stable-key-order JSON line."""
-        return [
-            json.dumps(record, sort_keys=True) for record in self.events
-        ]
+        """Each event as one stable-key-order JSON line.
+
+        Lines carry the unified schema — ``kind``/``subsystem`` plus
+        the legacy ``event`` alias — so old and new consumers both
+        parse them.
+        """
+        return [record.line() for record in self._records]
 
     def write_jsonl(self, path: str, append: bool = False) -> int:
         """Write the events as JSONL; returns the line count."""
         with open(path, "a" if append else "w") as handle:
             for line in self.event_lines():
                 handle.write(line + "\n")
-        return len(self.events)
+        return len(self._records)

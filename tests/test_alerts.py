@@ -1,0 +1,252 @@
+"""Tests for the deterministic alert engine (repro.obs.alerts):
+threshold boundaries, exact sliding-window rate semantics (an alert
+opened by a burst closes precisely one window after the burst ends),
+burn-rate and band rules, open/close event emission, episode
+determinism across reruns, and incident-on-open snapshots."""
+
+import pytest
+
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    band_rule,
+    burn_rate_rule,
+    rate_rule,
+    threshold_rule,
+)
+from repro.obs.events import EventLog
+from repro.obs.incident import IncidentBundle, IncidentStore
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            AlertRule(name="x", kind="nope", metric="m")
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError, match="op"):
+            AlertRule(name="x", kind="threshold", metric="m", op=">")
+
+    def test_rate_needs_window(self):
+        with pytest.raises(ValueError, match="window"):
+            rate_rule("x", "m", window=0.0, limit=1.0)
+
+    def test_band_low_le_high(self):
+        with pytest.raises(ValueError, match="band"):
+            band_rule("x", "m", 2.0, 1.0)
+
+    def test_duplicate_names_rejected(self):
+        rules = [threshold_rule("x", "m", 1.0), threshold_rule("x", "n", 1.0)]
+        with pytest.raises(ValueError, match="unique"):
+            AlertEngine(MetricsRegistry(), rules)
+
+    def test_rule_dict_round_trip(self):
+        rule = rate_rule("drops", "fed.faults.drops", window=5.0, limit=3.0)
+        assert AlertRule.from_dict(rule.to_dict()) == rule
+
+
+class TestThreshold:
+    def test_opens_exactly_at_boundary(self):
+        registry = MetricsRegistry()
+        engine = AlertEngine(registry, [threshold_rule("hot", "g", 5.0)])
+        registry.set_gauge("g", 4.999)
+        assert engine.evaluate(0.0) == []
+        registry.set_gauge("g", 5.0)
+        (opened,) = engine.evaluate(1.0)
+        assert opened["opened"] == 1.0
+        assert opened["value"] == 5.0
+        registry.set_gauge("g", 4.0)
+        (closed,) = engine.evaluate(2.0)
+        assert closed["closed"] == 2.0
+        assert closed is opened  # one episode, mutated in place
+
+    def test_counter_fallback(self):
+        registry = MetricsRegistry()
+        engine = AlertEngine(registry, [threshold_rule("c", "hits", 3.0)])
+        registry.inc("hits", 2)
+        assert engine.evaluate(0.0) == []
+        registry.inc("hits", 1)
+        assert len(engine.evaluate(1.0)) == 1
+
+    def test_le_direction(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 10.0)
+        engine = AlertEngine(
+            registry, [threshold_rule("low", "g", 2.0, op="<=")]
+        )
+        assert engine.evaluate(0.0) == []
+        registry.set_gauge("g", 2.0)
+        assert len(engine.evaluate(1.0)) == 1
+
+
+class TestRateWindow:
+    def _engine(self):
+        registry = MetricsRegistry()
+        engine = AlertEngine(
+            registry, [rate_rule("burst", "drops", window=10.0, limit=2.0)]
+        )
+        return registry, engine
+
+    def test_opens_on_burst_closes_one_window_after(self):
+        registry, engine = self._engine()
+        assert engine.evaluate(0.0) == []
+        registry.inc("drops", 3)
+        (opened,) = engine.evaluate(1.0)
+        assert opened["opened"] == 1.0
+        assert opened["value"] == 3.0
+        # Still open anywhere strictly inside increment + window.
+        assert engine.evaluate(5.0) == []
+        assert engine.evaluate(10.9) == []
+        assert engine.open_alerts()
+        # Exactly at increment time + window the burst ages out.
+        (closed,) = engine.evaluate(11.0)
+        assert closed["closed"] == 11.0
+        assert engine.open_alerts() == []
+
+    def test_slow_growth_never_fires(self):
+        registry, engine = self._engine()
+        for step in range(8):
+            registry.inc("drops", 1)
+            assert engine.evaluate(float(step) * 10.0) == []
+
+    def test_reopens_on_second_burst(self):
+        registry, engine = self._engine()
+        engine.evaluate(0.0)  # baseline sample before the first burst
+        registry.inc("drops", 3)
+        (opened,) = engine.evaluate(1.0)
+        assert opened["opened"] == 1.0
+        (closed,) = engine.evaluate(11.0)
+        assert closed["closed"] == 11.0
+        registry.inc("drops", 3)
+        (reopened,) = engine.evaluate(12.0)
+        assert reopened["opened"] == 12.0
+        assert len(engine.episodes) == 2
+
+
+class TestBurnRateAndBand:
+    def test_burn_rate_tracks_gauge(self):
+        registry = MetricsRegistry()
+        engine = AlertEngine(registry, [burn_rate_rule("burn", 1.0)])
+        registry.set_gauge("serve.slo.burn_rate", 2.0)
+        assert len(engine.evaluate(0.0)) == 1
+        registry.set_gauge("serve.slo.burn_rate", 0.5)
+        assert len(engine.evaluate(1.0)) == 1
+        assert engine.open_alerts() == []
+
+    def test_band_fires_outside_closed_interval(self):
+        registry = MetricsRegistry()
+        engine = AlertEngine(registry, [band_rule("p99", "g", 1.0, 2.0)])
+        for inside in (1.0, 1.5, 2.0):
+            registry.set_gauge("g", inside)
+            assert engine.evaluate(0.0) == []
+        registry.set_gauge("g", 2.1)
+        (opened,) = engine.evaluate(1.0)
+        assert opened["value"] == 2.1
+        registry.set_gauge("g", 0.9)
+        assert engine.evaluate(2.0) == []  # still outside: stays open
+        registry.set_gauge("g", 1.5)
+        assert len(engine.evaluate(3.0)) == 1
+
+
+class TestEventsAndInstants:
+    def test_open_close_emitted_with_labels(self):
+        registry = MetricsRegistry()
+        log = EventLog()
+        engine = AlertEngine(
+            registry,
+            [burn_rate_rule("burn", 1.0)],
+            event_log=log,
+            labels={"scenario": "bench"},
+        )
+        registry.set_gauge("serve.slo.burn_rate", 2.0)
+        engine.evaluate(3.0)
+        registry.set_gauge("serve.slo.burn_rate", 0.0)
+        engine.evaluate(4.0)
+        records = log.filter(subsystem="obs.alerts")
+        assert [r.kind for r in records] == ["alert_open", "alert_close"]
+        assert all(r.labels["rule"] == "burn" for r in records)
+        assert all(r.labels["scenario"] == "bench" for r in records)
+        assert records[0].time == 3.0
+        assert records[1].time == 4.0
+
+    def test_instant_events_for_trace_overlay(self):
+        registry = MetricsRegistry()
+        engine = AlertEngine(registry, [burn_rate_rule("burn", 1.0)])
+        registry.set_gauge("serve.slo.burn_rate", 2.0)
+        engine.evaluate(3.0)
+        registry.set_gauge("serve.slo.burn_rate", 0.0)
+        engine.evaluate(4.0)
+        instants = engine.instant_events()
+        assert [i["name"] for i in instants] == [
+            "alert_open:burn",
+            "alert_close:burn",
+        ]
+        assert instants[0]["time"] == 3.0
+        assert instants[0]["args"]["metric"] == "serve.slo.burn_rate"
+
+    def test_summary_shape(self):
+        registry = MetricsRegistry()
+        engine = AlertEngine(registry, [burn_rate_rule("burn", 1.0)])
+        registry.set_gauge("serve.slo.burn_rate", 2.0)
+        engine.evaluate(0.0)
+        summary = engine.summary()
+        assert summary["evaluations"] == 1
+        assert len(summary["episodes"]) == 1
+        assert len(summary["open"]) == 1
+        assert summary["rules"][0]["name"] == "burn"
+
+
+class TestDeterminism:
+    def _episode(self):
+        registry = MetricsRegistry()
+        log = EventLog()
+        engine = AlertEngine(
+            registry,
+            [
+                burn_rate_rule("burn", 1.0),
+                rate_rule("drops", "fed.faults.drops", window=4.0, limit=1.0),
+            ],
+            event_log=log,
+            labels={"scenario": "det"},
+        )
+        registry.set_gauge("serve.slo.burn_rate", 2.0)
+        registry.inc("fed.faults.drops", 2)
+        engine.evaluate(1.0)
+        registry.set_gauge("serve.slo.burn_rate", 0.0)
+        engine.evaluate(3.0)
+        engine.evaluate(5.0)
+        return engine, log
+
+    def test_identical_episodes_and_bytes_across_reruns(self):
+        engine_a, log_a = self._episode()
+        engine_b, log_b = self._episode()
+        assert engine_a.summary() == engine_b.summary()
+        assert log_a.lines() == log_b.lines()
+
+
+class TestIncidentOnOpen:
+    def test_open_snapshots_bundle(self, tmp_path):
+        registry = MetricsRegistry()
+        log = EventLog()
+        store = IncidentStore(str(tmp_path))
+        engine = AlertEngine(
+            registry,
+            [burn_rate_rule("burn", 1.0, incident=True)],
+            event_log=log,
+            incident_store=store,
+            incident_context={"scenario": "degraded"},
+        )
+        registry.set_gauge("serve.slo.burn_rate", 3.0)
+        engine.evaluate(2.0)
+        assert len(engine.incidents) == 1
+        bundle = IncidentBundle.load(engine.incidents[0])
+        assert bundle.kind == "slo_burn"
+        assert bundle.label == "burn"
+        assert bundle.time == 2.0
+        assert bundle.context["scenario"] == "degraded"
+        assert bundle.context["rule"]["name"] == "burn"
+        assert bundle.open_alerts[0]["rule"] == "burn"
+        # Re-firing without closing does not snapshot again.
+        engine.evaluate(3.0)
+        assert len(engine.incidents) == 1

@@ -32,6 +32,7 @@ EXPECTED_RULES = [
     ("DET001", "leakypkg/serve/fleet_shed.py"),
     ("DET001", "leakypkg/obs/clocky.py"),
     ("DET001", "leakypkg/obs/whatif_clock.py"),
+    ("DET001", "leakypkg/obs/alert_clock.py"),
     ("DET001", "leakypkg/bench/stale_profile.py"),
     ("CR001", "leakypkg/crosskey.py"),
     ("CR002", "leakypkg/crosskey.py"),
