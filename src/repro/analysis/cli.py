@@ -52,7 +52,8 @@ RULE_FAMILIES = {
     "PB": "party boundary (PB001/002 plaintext taint; PB003 static<->runtime "
     "disclosure conformance)",
     "CR": "Paillier misuse (CR001-003 cross-key/raw-layer/uncounted ops; "
-    "CR101-104 ciphertext-domain abstract interpretation)",
+    "CR101-104 ciphertext-domain abstract interpretation; CR105 "
+    "powmod-choke-point bypass via direct 3-arg pow in crypto hot paths)",
     "DET": "determinism (wall clock, unseeded RNG, set-iteration order)",
     "SCH": "schedule graphs (SCH001-005 structure; SCH101-103 happens-before "
     "races over declared footprints)",

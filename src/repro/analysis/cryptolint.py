@@ -22,6 +22,17 @@ Three failure modes the runtime cannot reliably surface:
   :class:`~repro.crypto.ciphertext.OpStats` counter
   (``self.stats.<op> += 1``); a silent op corrupts the benchmark
   ledger that prices protocols under the paper's cost model (§5).
+
+* **CR105 — powmod choke-point bypass.**  Crypto hot paths must route
+  modular exponentiation through
+  :func:`repro.crypto.math_utils.powmod`, the single observed choke
+  point that fires the profiler's powmod observer and dispatches to
+  the active :class:`~repro.crypto.backend.CryptoBackend`.  A direct
+  three-argument ``pow(base, e, m)`` inside ``crypto/`` silently
+  undercounts the op *and* pins the pure-Python engine regardless of
+  the selected backend.  Only the dispatch layer itself
+  (``math_utils.py``) and the backend engines (``backend.py``) may
+  call it.
 """
 
 from __future__ import annotations
@@ -53,6 +64,13 @@ DEFAULT_ALLOWED_RAW = (
 )
 DEFAULT_ALLOWED_CONSTRUCT = ("crypto/",)
 
+#: the only crypto-layer modules allowed a direct 3-arg ``pow`` (CR105):
+#: the observed dispatch choke point and the backend engines it calls
+DEFAULT_ALLOWED_POW = (
+    "crypto/math_utils.py",
+    "crypto/backend.py",
+)
+
 #: cipher-producing call tails tracked for provenance (CR001)
 _ENCRYPT_TAILS = {"encrypt", "encrypt_encoded", "encrypt_zero", "encrypt_pair"}
 
@@ -70,10 +88,12 @@ class CryptoChecker:
         index: PackageIndex,
         allowed_raw: tuple[str, ...] = DEFAULT_ALLOWED_RAW,
         allowed_construct: tuple[str, ...] = DEFAULT_ALLOWED_CONSTRUCT,
+        allowed_pow: tuple[str, ...] = DEFAULT_ALLOWED_POW,
     ) -> None:
         self.index = index
         self.allowed_raw = allowed_raw
         self.allowed_construct = allowed_construct
+        self.allowed_pow = allowed_pow
 
     def run(self) -> Reporter:
         reporter = Reporter()
@@ -98,6 +118,21 @@ class CryptoChecker:
         reporter: Reporter,
     ) -> None:
         is_primitive_module = inner.endswith("crypto/paillier.py")
+        if inner.startswith("crypto/") and not self._matches(
+            inner, self.allowed_pow
+        ):
+            for node in self._raw_pow_calls(module.tree):
+                self._emit(
+                    reporter,
+                    module,
+                    node,
+                    "CR105",
+                    "direct three-argument pow() in a crypto hot path "
+                    "bypasses the observed powmod choke point (profiler "
+                    "undercount) and pins the built-in engine regardless of "
+                    "the selected backend; call "
+                    "repro.crypto.math_utils.powmod instead",
+                )
         for qualname, fn in iter_functions(module.tree):
             self._check_cross_key(module, fn, reporter)
             raw_calls = self._raw_calls(fn)
@@ -206,6 +241,20 @@ class CryptoChecker:
     # ------------------------------------------------------------------
     # Raw-call helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _raw_pow_calls(tree: ast.AST) -> list[ast.Call]:
+        """Direct ``pow(base, exponent, modulus)`` calls (CR105)."""
+        calls = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "pow"
+                and len(node.args) >= 3
+            ):
+                calls.append(node)
+        return calls
+
     @staticmethod
     def _raw_calls(fn: ast.AST) -> list[ast.Call]:
         calls = []

@@ -114,6 +114,9 @@ class CalibrationProfile:
         pack_width: values per pack in the packing measurement.
         samples: operations per measurement.
         seed: keygen/value seed the measurement used.
+        backend: crypto backend name the measurement ran under
+            (profiles written before backends existed load as
+            ``"python"``, the engine they actually measured).
         host: :func:`host_fingerprint` of the measuring machine.
     """
 
@@ -124,6 +127,7 @@ class CalibrationProfile:
     pack_width: int
     samples: int
     seed: int
+    backend: str = "python"
     host: dict = field(default_factory=dict)
 
     def ratios(self) -> dict:
@@ -148,6 +152,7 @@ class CalibrationProfile:
             "pack_width": self.pack_width,
             "samples": self.samples,
             "seed": self.seed,
+            "backend": self.backend,
             "host": dict(sorted(self.host.items())),
         }
 
@@ -179,6 +184,7 @@ class CalibrationProfile:
         pack_width: int,
         samples: int = 0,
         seed: int = 0,
+        backend: str = "python",
         host: dict | None = None,
     ) -> "CalibrationProfile":
         """Freeze an existing :class:`CostModel` into a profile."""
@@ -190,6 +196,7 @@ class CalibrationProfile:
             pack_width=pack_width,
             samples=samples,
             seed=seed,
+            backend=backend,
             host=host if host is not None else {},
         )
 
@@ -212,7 +219,9 @@ def _measure_packing(
 
     context = PaillierContext.create(key_bits, seed=seed, jitter=1)
     rng = random.Random(seed)
-    width = min(pack_capacity(context.public_key, limb_bits), samples)
+    width = min(
+        pack_capacity(context.public_key, limb_bits, top_bits=limb_bits // 2), samples
+    )
     positive = [
         context.encrypt(float(rng.randrange(1 << (limb_bits // 2))), exponent=0)
         for _ in range(width)
@@ -223,7 +232,7 @@ def _measure_packing(
         context.decrypt(cipher)
     per_value_plain = (timer() - start) / width
 
-    packed = pack_ciphers(context, positive, limb_bits)
+    packed = pack_ciphers(context, positive, limb_bits, top_bits=limb_bits // 2)
     repeats = max(1, samples // width)
     start = timer()
     for _ in range(repeats):
@@ -237,12 +246,26 @@ def calibrate(
     samples: int = 24,
     seed: int = 7,
     timer: Callable[[], float] = time.perf_counter,  # repro: allow[DET001] -- calibration times real crypto by design; tests inject a fake timer
+    backend: str = "auto",
 ) -> CalibrationProfile:
-    """Microbenchmark this host into a :class:`CalibrationProfile`."""
-    cost = CostModel.measured(
-        key_bits=key_bits, samples=samples, seed=seed, timer=timer
-    )
-    gain, width = _measure_packing(key_bits, samples, seed, timer)
+    """Microbenchmark this host into a :class:`CalibrationProfile`.
+
+    Args:
+        backend: crypto backend to measure under — a registry name, or
+            ``"auto"`` to pick the fastest engine importable on this
+            host (``gmpy2`` when present, the pure-Python fast path
+            otherwise).  The resolved name is recorded in the profile.
+    """
+    from repro.crypto.backend import auto_select
+    from repro.crypto.math_utils import use_backend
+
+    resolved = auto_select() if backend == "auto" else backend
+    with use_backend(resolved) as active:
+        cost = CostModel.measured(
+            key_bits=key_bits, samples=samples, seed=seed, timer=timer
+        )
+        gain, width = _measure_packing(key_bits, samples, seed, timer)
+        backend_name = active.name
     return CalibrationProfile.from_cost_model(
         cost,
         key_bits=key_bits,
@@ -250,6 +273,7 @@ def calibrate(
         pack_width=width,
         samples=samples,
         seed=seed,
+        backend=backend_name,
         host=host_fingerprint(),
     )
 

@@ -16,8 +16,11 @@ import random
 import time
 from dataclasses import dataclass
 
+import contextlib
+
 from repro.crypto.accumulation import naive_sum, reordered_sum
 from repro.crypto.ciphertext import PaillierContext
+from repro.crypto.math_utils import use_backend
 from repro.crypto.packing import pack_capacity, pack_ciphers, unpack_values
 
 __all__ = ["ThroughputReport", "crypto_throughputs"]
@@ -74,6 +77,7 @@ def crypto_throughputs(
     n_exponents: int = 6,
     limb_bits: int = 32,
     seed: int = 11,
+    backend: str | None = None,
 ) -> ThroughputReport:
     """Measure all Figure 7 operations at a given key size.
 
@@ -84,7 +88,21 @@ def crypto_throughputs(
         n_exponents: encoder jitter width ``E``.
         limb_bits: packing limb width for the packed-decryption row.
         seed: deterministic keygen/value seed.
+        backend: crypto backend name to measure under; ``None`` keeps
+            the currently active backend.
     """
+    scope = use_backend(backend) if backend is not None else contextlib.nullcontext()
+    with scope:
+        return _crypto_throughputs(key_bits, samples, n_exponents, limb_bits, seed)
+
+
+def _crypto_throughputs(
+    key_bits: int,
+    samples: int,
+    n_exponents: int,
+    limb_bits: int,
+    seed: int,
+) -> ThroughputReport:
     context = PaillierContext.create(key_bits, seed=seed, jitter=n_exponents)
     rng = random.Random(seed)
     values = [rng.gauss(0.0, 1.0) for _ in range(samples)]
@@ -112,12 +130,15 @@ def crypto_throughputs(
     smul = samples / (time.perf_counter() - start)
 
     # Packed decryption: positive integers at one exponent, packed t-wide.
-    width = min(pack_capacity(context.public_key, limb_bits), samples)
+    # Values are bounded by half a limb, and that bound buys capacity.
+    width = min(
+        pack_capacity(context.public_key, limb_bits, top_bits=limb_bits // 2), samples
+    )
     positive = [
         context.encrypt(float(rng.randrange(1 << (limb_bits // 2))), exponent=0)
         for _ in range(width)
     ]
-    packed = pack_ciphers(context, positive, limb_bits)
+    packed = pack_ciphers(context, positive, limb_bits, top_bits=limb_bits // 2)
     start = time.perf_counter()
     repeats = max(1, samples // width)
     for _ in range(repeats):

@@ -35,6 +35,7 @@ __all__ = [
     "PerfDB",
     "PerfEntry",
     "PerfScalar",
+    "backend_parity_scenario",
     "counted_scenario",
     "faults_scenario",
     "fig7_scenario",
@@ -158,23 +159,21 @@ class PerfDB:
 # ----------------------------------------------------------------------
 # Scenarios
 # ----------------------------------------------------------------------
-def counted_scenario() -> PerfEntry:
-    """Exact scenario: counted op totals + simulated makespan.
+def _train_perf_shape() -> tuple:
+    """Train the :data:`PERF_SHAPE` workload with real crypto.
 
-    Trains a tiny real-crypto VF2Boost run at :data:`PERF_SHAPE` (ops
-    physically execute, so :class:`OpStats` counts them exactly) and
-    prices the same shape through the analytic scheduler at paper
-    costs.  Every scalar is a seeded, deterministic quantity, gated
-    bit-exactly.
+    Shared by :func:`counted_scenario` and
+    :func:`backend_parity_scenario` so both gate the *same* seeded run.
+
+    Returns:
+        ``(result, parties, half, totals)`` — the train result, the
+        per-party binned datasets, the active party's feature count,
+        and the summed cipher-op totals.
     """
     import numpy as np
 
-    from repro.bench.costmodel import CostModel
     from repro.core.config import VF2BoostConfig
-    from repro.core.profile import analytic_trace
-    from repro.core.protocol import ProtocolScheduler
     from repro.core.trainer import FederatedTrainer
-    from repro.fed.cluster import PAPER_CLUSTER
     from repro.gbdt.binning import bin_dataset
     from repro.gbdt.params import GBDTParams
 
@@ -210,6 +209,40 @@ def counted_scenario() -> PerfEntry:
         totals["hadd"] += stats.additions
         totals["scale"] += stats.scalings
         totals["smul"] += stats.scalar_multiplications
+    return result, parties, half, totals
+
+
+def counted_scenario() -> PerfEntry:
+    """Exact scenario: counted op totals + simulated makespan.
+
+    Trains a tiny real-crypto VF2Boost run at :data:`PERF_SHAPE` (ops
+    physically execute, so :class:`OpStats` counts them exactly) and
+    prices the same shape through the analytic scheduler at paper
+    costs.  Every scalar is a seeded, deterministic quantity, gated
+    bit-exactly.
+    """
+    from repro.bench.costmodel import CostModel
+    from repro.core.config import VF2BoostConfig
+    from repro.core.profile import analytic_trace
+    from repro.core.protocol import ProtocolScheduler
+    from repro.fed.cluster import PAPER_CLUSTER
+    from repro.gbdt.params import GBDTParams
+
+    shape = PERF_SHAPE
+    result, parties, half, totals = _train_perf_shape()
+    d = shape["n_features"]
+    params = GBDTParams(
+        n_trees=shape["n_trees"],
+        n_layers=shape["n_layers"],
+        n_bins=shape["n_bins"],
+    )
+    config = VF2BoostConfig.vf2boost(
+        params=params,
+        crypto_mode="real",
+        key_bits=shape["key_bits"],
+        blaster_batch_size=shape["blaster_batch_size"],
+        seed=shape["seed"],
+    )
 
     trace = analytic_trace(
         shape["n_instances"],
@@ -255,6 +288,53 @@ def counted_scenario() -> PerfEntry:
         float(section.get("wait_seconds", 0.0)), kind="exact", direction="lower"
     )
     return PerfEntry(name="counted-train", scalars=scalars, meta=dict(shape))
+
+
+def backend_parity_scenario() -> PerfEntry:
+    """Exact scenario: crypto backends are interchangeable, provably.
+
+    Trains the :data:`PERF_SHAPE` workload once under **every**
+    available crypto backend and checks that op totals and the final
+    model (margins on the training codes) are bit-identical across
+    them.  ``parity_ok`` and the model digest gate bit-exactly; the
+    backend list itself lives in ``meta`` because it varies by host
+    (``gmpy2`` is optional) while the gated scalars must not.
+    """
+    import hashlib
+
+    from repro.crypto.backend import available_backends
+    from repro.crypto.math_utils import use_backend
+
+    runs = {}
+    for name in available_backends():
+        with use_backend(name):
+            result, parties, _half, totals = _train_perf_shape()
+        margins = result.model.predict_margin(
+            {index: party.codes for index, party in enumerate(parties)}
+        )
+        digest = hashlib.sha256(margins.tobytes()).hexdigest()
+        runs[name] = (tuple(sorted(totals.items())), digest)
+
+    reference = next(iter(runs.values()))
+    parity_ok = all(run == reference for run in runs.values())
+    # First 48 bits of the reference digest as a float: exact in IEEE
+    # double, so the gate pins the model bytes without a string scalar.
+    digest_scalar = float(int(reference[1][:12], 16))
+    scalars = {
+        "parity_ok": PerfScalar(
+            1.0 if parity_ok else 0.0, kind="exact", direction="higher"
+        ),
+        "model_digest": PerfScalar(digest_scalar, kind="exact", direction="lower"),
+    }
+    scalars.update(
+        {
+            f"ops.{op}": PerfScalar(float(count), kind="exact", direction="lower")
+            for op, count in reference[0]
+        }
+    )
+    meta = dict(PERF_SHAPE)
+    meta["backends"] = list(runs)
+    return PerfEntry(name="backend-parity", scalars=scalars, meta=meta)
 
 
 #: the fixed workload + fault schedule of the recovery-cost scenario;
@@ -576,11 +656,21 @@ def serve_fleet_scenario() -> PerfEntry:
     return PerfEntry(name="serve-fleet", scalars=scalars, meta=dict(shape))
 
 
-def fig7_scenario(key_bits: int = 512, samples: int = 48) -> PerfEntry:
-    """Measured scenario: real Figure 7 throughputs (noise-gated)."""
+def fig7_scenario(
+    key_bits: int = 512, samples: int = 48, backend: str | None = None
+) -> PerfEntry:
+    """Measured scenario: real Figure 7 throughputs (noise-gated).
+
+    Args:
+        backend: crypto backend name to measure under.  ``None`` keeps
+            the active backend and the historical entry name ``fig7``;
+            a named backend writes ``fig7-<backend>`` so each engine
+            accumulates its own sliding-window history and the measured
+            speedups of the fast paths land as per-backend deltas.
+    """
     from repro.bench.microbench import crypto_throughputs
 
-    report = crypto_throughputs(key_bits=key_bits, samples=samples)
+    report = crypto_throughputs(key_bits=key_bits, samples=samples, backend=backend)
     scalars = {
         name: PerfScalar(value, kind="measured", direction="higher")
         for name, value in (
@@ -590,10 +680,13 @@ def fig7_scenario(key_bits: int = 512, samples: int = 48) -> PerfEntry:
             ("dec_packed_values_per_s", report.dec_packed),
         )
     }
+    meta = {"key_bits": key_bits, "samples": samples}
+    if backend is not None:
+        meta["backend"] = backend
     return PerfEntry(
-        name="fig7",
+        name="fig7" if backend is None else f"fig7-{backend}",
         scalars=scalars,
-        meta={"key_bits": key_bits, "samples": samples},
+        meta=meta,
     )
 
 

@@ -229,10 +229,13 @@ def pack_histogram(
     max_exponent = context.encoder.exponent + context.encoder.jitter - 1
     # Largest packed magnitude: shifted gradient prefix (<= 2 N Bound) or
     # raw hessian prefix (<= N h_bound <= shift scale); use the former.
-    effective_limb = required_limb_bits(
-        max(2.0 * shift, float(encrypted.n_instances)), base, max_exponent, limb_bits
+    # ``value_bits`` bounds every packed value, not just the top limb,
+    # so it is the honest ``top_bits`` for the capacity calculation.
+    value_bits = required_limb_bits(
+        max(2.0 * shift, float(encrypted.n_instances)), base, max_exponent, 1
     )
-    capacity = pack_capacity(context.public_key, effective_limb)
+    effective_limb = max(limb_bits, value_bits)
+    capacity = pack_capacity(context.public_key, effective_limb, top_bits=value_bits)
 
     def process(bins: list[EncryptedNumber], shift_value: float) -> list[PackedCipher]:
         prefix: list[EncryptedNumber] = []
@@ -247,7 +250,9 @@ def pack_histogram(
             group = prefix[start : start + capacity]
             top = max(item.exponent for item in group)
             aligned = [context.scale_to(item, top) for item in group]
-            packs.append(pack_ciphers(context, aligned, effective_limb))
+            packs.append(
+                pack_ciphers(context, aligned, effective_limb, top_bits=value_bits)
+            )
         return packs
 
     grad_packs = [process(row, shift) for row in encrypted.grad_bins]

@@ -1,0 +1,198 @@
+"""Deterministic process-pool "blaster lanes" for bulk exponentiation.
+
+The paper's blaster pipeline overlaps encryption with transfer; this
+module supplies the process-level half: a pool of worker lanes that
+execute batches of modular exponentiations (encryption obfuscators,
+bulk ``g^m`` work) off the main interpreter.
+
+Determinism is the design constraint, not an afterthought:
+
+* Batches are split into **contiguous chunks** by :func:`partition` —
+  a pure function of ``(n_items, n_lanes)``.  Chunk boundaries never
+  depend on scheduling, so reassembling chunk results in chunk order
+  reproduces the serial output bit for bit.
+* Every batch is keyed by ``(op, batch_index)``; the key orders chunks
+  and appears in worker payloads so two runs dispatch identical work
+  regardless of lane count.
+* Workers run the *same* :class:`~repro.crypto.backend.CryptoBackend`
+  arithmetic as the parent and report a powmod **tally**; the parent
+  folds the tally back through
+  :func:`repro.crypto.math_utils.observe_powmods`, so profiler op
+  counts — and therefore golden fingerprints — are identical to a
+  serial run.
+
+With ``lanes <= 1`` (the default on single-core hosts) everything runs
+inline through :func:`repro.crypto.math_utils.powmod` and no pool is
+created; outputs are identical either way.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Sequence
+
+from repro.crypto import math_utils
+from repro.crypto.backend import create_backend
+from repro.crypto.paillier import ObfuscatorPool
+
+__all__ = ["BlasterLanes", "partition", "default_lanes"]
+
+
+def default_lanes() -> int:
+    """Lane count for this host: one per CPU, serial on single-core."""
+    return max(1, os.cpu_count() or 1)
+
+
+def partition(n_items: int, n_lanes: int) -> list[tuple[int, int]]:
+    """Split ``n_items`` into at most ``n_lanes`` contiguous chunks.
+
+    A pure function of its arguments: chunk sizes differ by at most
+    one, larger chunks come first, and the concatenation of the ranges
+    is ``range(n_items)`` in order.  This is the determinism anchor —
+    chunking never depends on scheduling or timing.
+
+    Returns:
+        ``(start, stop)`` half-open ranges, one per non-empty chunk.
+    """
+    if n_items < 0:
+        raise ValueError("n_items cannot be negative")
+    if n_lanes < 1:
+        raise ValueError("n_lanes must be >= 1")
+    lanes = min(n_lanes, n_items)
+    if lanes == 0:
+        return []
+    size, extra = divmod(n_items, lanes)
+    chunks = []
+    start = 0
+    for lane in range(lanes):
+        stop = start + size + (1 if lane < extra else 0)
+        chunks.append((start, stop))
+        start = stop
+    return chunks
+
+
+def _powmod_chunk(
+    payload: tuple[str, tuple[str, int, int], Sequence[int], int, int],
+) -> tuple[list[int], int]:
+    """Worker: exponentiate one chunk of bases. Top-level for pickling.
+
+    Args:
+        payload: ``(backend_name, (op, batch_index, chunk_index),
+            bases, exponent, modulus)``.
+
+    Returns:
+        ``(results, tally)`` — results in input order and the number of
+        logical powmods performed, for the parent to fold back into the
+        observer.
+    """
+    backend_name, _key, bases, exponent, modulus = payload
+    backend = create_backend(backend_name)
+    results = [backend.powmod(base, exponent, modulus) for base in bases]
+    return results, len(bases)
+
+
+class BlasterLanes:
+    """A pool of worker lanes for bulk modular exponentiation.
+
+    Args:
+        lanes: number of worker processes; ``None`` uses
+            :func:`default_lanes`. ``lanes <= 1`` runs everything
+            inline (no pool, no pickling) with identical outputs.
+        backend: backend *name* the lanes compute with; ``None`` uses
+            the parent's active backend. Worker processes re-create the
+            backend from the name — instances never cross the pipe.
+
+    Use as a context manager or call :meth:`close` to release workers.
+    """
+
+    def __init__(self, lanes: int | None = None, backend: str | None = None) -> None:
+        self.lanes = default_lanes() if lanes is None else lanes
+        if self.lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        self.backend_name = backend or math_utils.get_backend().name
+        self._executor: Executor | None = None
+        self._batch_counters: dict[str, int] = {}
+
+    def __enter__(self) -> "BlasterLanes":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _next_batch_key(self, op: str) -> int:
+        index = self._batch_counters.get(op, 0)
+        self._batch_counters[op] = index + 1
+        return index
+
+    def _get_executor(self) -> Executor | None:
+        if self._executor is None:
+            try:
+                self._executor = ProcessPoolExecutor(max_workers=self.lanes)
+            except (OSError, ValueError):
+                # Hosts that forbid subprocesses degrade to serial lanes;
+                # outputs are identical, only wall-clock differs.
+                self.lanes = 1
+                return None
+        return self._executor
+
+    def powmod_batch(
+        self, bases: Sequence[int], exponent: int, modulus: int, op: str = "powmod"
+    ) -> list[int]:
+        """Exponentiate every base, preserving input order.
+
+        The batch is keyed by ``(op, batch_index)`` and split with
+        :func:`partition`; results are reassembled in chunk order, so
+        the returned list is bit-identical to the serial loop
+        ``[powmod(b, exponent, modulus) for b in bases]`` — and so are
+        the profiler's powmod counts, via the folded-back tally.
+        """
+        batch_index = self._next_batch_key(op)
+        if self.lanes <= 1 or len(bases) <= 1:
+            return [math_utils.powmod(base, exponent, modulus) for base in bases]
+        executor = self._get_executor()
+        if executor is None:
+            return [math_utils.powmod(base, exponent, modulus) for base in bases]
+        chunks = partition(len(bases), self.lanes)
+        payloads = [
+            (
+                self.backend_name,
+                (op, batch_index, chunk_index),
+                list(bases[start:stop]),
+                exponent,
+                modulus,
+            )
+            for chunk_index, (start, stop) in enumerate(chunks)
+        ]
+        results: list[int] = []
+        tally = 0
+        for chunk_results, chunk_tally in executor.map(_powmod_chunk, payloads):
+            results.extend(chunk_results)
+            tally += chunk_tally
+        math_utils.observe_powmods(tally)
+        return results
+
+    def refill_pool(
+        self, pool: ObfuscatorPool, count: int, rng: random.Random | None = None
+    ) -> None:
+        """Precompute ``count`` obfuscators across the lanes.
+
+        The parent draws the random bases ``r`` (cheap, and draw order
+        must match a serial refill for determinism under an injected
+        ``rng``); lanes compute the expensive ``r^n mod n^2`` halves.
+        """
+        public_key = pool.public_key
+        bases = [
+            math_utils.random_coprime(public_key.n, rng) for _ in range(count)
+        ]
+        obfuscators = self.powmod_batch(
+            bases, public_key.n, public_key.n_squared, op="obfuscator"
+        )
+        pool.deposit(obfuscators)

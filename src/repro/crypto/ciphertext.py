@@ -143,6 +143,9 @@ class PaillierContext:
         obfuscator_pool_size: number of pre-computed obfuscators.
         registry: metrics sink for the mirrored ``crypto.*`` counters
             (the process-wide registry when omitted).
+        obfuscator_rng: optional seeded generator for obfuscator draws
+            (tests pin it to prove backends produce bit-identical
+            ciphertexts; production leaves it ``None`` for entropy).
     """
 
     def __init__(
@@ -155,11 +158,20 @@ class PaillierContext:
         rng: random.Random | None = None,
         obfuscator_pool_size: int = 0,
         registry: MetricsRegistry | None = None,
+        obfuscator_rng: random.Random | None = None,
     ) -> None:
         self.public_key = public_key
         self._private_key = private_key
         self.encoder = Encoder(public_key, base, exponent, jitter, rng)
-        self.pool = ObfuscatorPool(public_key, obfuscator_pool_size)
+        # The key holder hands its CRT constants to the pool so
+        # CRT-capable backends split the obfuscator exponentiations;
+        # public contexts stay on the full-width path.
+        self.pool = ObfuscatorPool(
+            public_key,
+            obfuscator_pool_size,
+            rng=obfuscator_rng,
+            crt=private_key.crt_params() if private_key is not None else None,
+        )
         self.stats = OpStats()
         self.metrics = registry if registry is not None else global_registry()
 
@@ -175,6 +187,7 @@ class PaillierContext:
         exponent: int = DEFAULT_EXPONENT,
         jitter: int = 1,
         registry: MetricsRegistry | None = None,
+        obfuscator_rng: random.Random | None = None,
     ) -> "PaillierContext":
         """Generate a fresh keypair and wrap it in a context."""
         public, private = generate_keypair(key_bits, seed=seed)
@@ -187,6 +200,7 @@ class PaillierContext:
             jitter=jitter,
             rng=rng,
             registry=registry,
+            obfuscator_rng=obfuscator_rng,
         )
 
     def public_context(self) -> "PaillierContext":
@@ -237,7 +251,9 @@ class PaillierContext:
         self.stats.decryptions += 1
         self.metrics.inc("crypto.dec")
         value = self._private_key.raw_decrypt(number.ciphertext)
-        return EncodedNumber(self.public_key, value, number.exponent)
+        return EncodedNumber(
+            self.public_key, value, number.exponent, self.encoder.base
+        )
 
     def decrypt_raw(self, number: EncryptedNumber) -> int:
         """Decrypt to the raw integer in ``[0, n)`` (packing unpack path)."""

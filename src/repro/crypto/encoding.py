@@ -40,20 +40,38 @@ class EncodedNumber:
         public_key: key whose modulus defines the encoding space.
         value: the big-integer representation ``V`` in ``[0, n)``.
         exponent: the exponent term ``e`` (precision ``B**-e``).
+        base: the encoding base ``B`` the value was scaled by.  Carried
+            so a decode under a different base is *rejected* instead of
+            silently returning a wrong float (``V / B'**e``).
     """
 
     public_key: PaillierPublicKey
     value: int
     exponent: int
+    base: int = DEFAULT_BASE
 
-    def decode(self, base: int = DEFAULT_BASE) -> float:
+    def _require_base(self, base: int | None) -> int:
+        if base is not None and base != self.base:
+            raise ValueError(
+                f"encoding base mismatch: value was encoded in base "
+                f"{self.base}, not base {base}"
+            )
+        return self.base
+
+    def decode(self, base: int | None = None) -> float:
         """Decode back to a float.
 
+        Args:
+            base: optional cross-check; when given it must equal the
+                base the value was encoded under.
+
         Raises:
+            ValueError: on an encoding-base mismatch.
             OverflowError: if the value falls in the dead zone between
                 the positive and negative ranges — the signature of an
                 arithmetic overflow.
         """
+        base = self._require_base(base)
         n = self.public_key.n
         max_int = self.public_key.max_int
         if self.value <= max_int:
@@ -64,7 +82,7 @@ class EncodedNumber:
             raise OverflowError("encoded value out of range: overflow detected")
         return magnitude / base**self.exponent
 
-    def decrease_exponent_to(self, new_exponent: int, base: int = DEFAULT_BASE):
+    def decrease_exponent_to(self, new_exponent: int, base: int | None = None):
         """Return an equivalent encoding at a *higher precision* exponent.
 
         In the paper's convention larger ``e`` means more fractional
@@ -72,6 +90,7 @@ class EncodedNumber:
         ``V`` by ``B**(new_exponent - exponent)``. This is the plaintext
         analogue of cipher scaling.
         """
+        base = self._require_base(base)
         if new_exponent < self.exponent:
             raise ValueError(
                 f"cannot reduce precision: {new_exponent} < {self.exponent}"
@@ -81,6 +100,7 @@ class EncodedNumber:
             self.public_key,
             (self.value * factor) % self.public_key.n,
             new_exponent,
+            base,
         )
 
 
@@ -146,10 +166,16 @@ class Encoder:
             )
         if scaled < 0:
             scaled += self.public_key.n
-        return EncodedNumber(self.public_key, scaled, exponent)
+        return EncodedNumber(self.public_key, scaled, exponent, self.base)
 
     def decode(self, encoded: EncodedNumber) -> float:
-        """Decode an :class:`EncodedNumber` produced by this encoder."""
+        """Decode an :class:`EncodedNumber` produced by this encoder.
+
+        Raises:
+            ValueError: when the encoding belongs to a different key or
+                was produced under a different base than this encoder's
+                (a silent wrong-float decode otherwise).
+        """
         if encoded.public_key is not self.public_key and (
             encoded.public_key.n != self.public_key.n
         ):

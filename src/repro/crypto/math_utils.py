@@ -1,28 +1,46 @@
 """Number-theoretic primitives underpinning the Paillier cryptosystem.
 
-Everything here operates on plain Python integers.  Python's arbitrary
-precision integers and three-argument ``pow`` give us modular
-exponentiation that is fast enough for the key sizes used in tests and
-for calibrating the cost model at paper-scale key sizes.
+Everything here operates on plain Python integers.  Modular
+exponentiation — and its exponentiation-grade sibling, modular
+inversion — go through a single observed choke point (:func:`powmod` /
+:func:`invert`) that dispatches to the active
+:class:`~repro.crypto.backend.CryptoBackend`.  The default backend is
+the built-in three-argument ``pow``; :func:`set_backend` swaps in the
+pure-Python fast path or the ``gmpy2`` engine, all of which return
+bit-identical integers (see :mod:`repro.crypto.backend`).
+
+The profiler's observer fires exactly once per *logical* operation at
+this layer, regardless of how many internal half-width exponentiations
+the active backend performs — op-count fingerprints are therefore
+backend-invariant.  Work executed outside this process (blaster lanes)
+is folded back in via :func:`observe_powmods`.
 """
 
 from __future__ import annotations
 
+import contextlib
 import math
+import random
 import secrets
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
+
+from repro.crypto.backend import CryptoBackend, PythonBackend, create_backend
 
 __all__ = [
     "is_probable_prime",
     "generate_prime",
     "generate_prime_pair",
+    "get_backend",
     "invert",
     "crt_combine",
     "lcm",
+    "observe_powmods",
     "powmod",
     "random_below",
     "random_coprime",
+    "set_backend",
     "set_powmod_observer",
+    "use_backend",
 ]
 
 # Small primes used to cheaply reject composite candidates before the
@@ -37,6 +55,9 @@ _SMALL_PRIMES = (
 #: optional zero-argument callback fired on every :func:`powmod` call;
 #: the hot-path profiler attributes these to the enclosing cipher op
 _POWMOD_OBSERVER: Callable[[], None] | None = None
+
+#: the active big-integer engine every exponentiation dispatches to
+_BACKEND: CryptoBackend = PythonBackend()
 
 
 def set_powmod_observer(
@@ -54,28 +75,91 @@ def set_powmod_observer(
     return previous
 
 
-def powmod(base: int, exponent: int, modulus: int) -> int:
+def observe_powmods(count: int) -> None:
+    """Replay ``count`` powmod observations through the observer.
+
+    Blaster lanes execute their exponentiations in worker processes
+    where the parent's observer cannot see them; each lane reports a
+    tally and the parent folds it back in here, keeping profiler
+    powmod counts identical to a serial run.
+    """
+    if count < 0:
+        raise ValueError("powmod tally cannot be negative")
+    if _POWMOD_OBSERVER is not None:
+        for _ in range(count):
+            _POWMOD_OBSERVER()
+
+
+def set_backend(backend: CryptoBackend | str) -> CryptoBackend:
+    """Swap the active crypto backend; returns the previous one.
+
+    Accepts a backend instance or a registry name
+    (``"python"`` / ``"fast"`` / ``"gmpy2"``).
+    """
+    global _BACKEND
+    previous = _BACKEND
+    if isinstance(backend, str):
+        backend = create_backend(backend)
+    _BACKEND = backend
+    return previous
+
+
+def get_backend() -> CryptoBackend:
+    """The currently active crypto backend."""
+    return _BACKEND
+
+
+@contextlib.contextmanager
+def use_backend(backend: CryptoBackend | str) -> Iterator[CryptoBackend]:
+    """Scope a backend over a block, restoring the previous one."""
+    previous = set_backend(backend)
+    try:
+        yield _BACKEND
+    finally:
+        set_backend(previous)
+
+
+def powmod(base: int, exponent: int, modulus: int, crt=None, fixed: bool = False) -> int:
     """Modular exponentiation ``base ** exponent mod modulus``.
 
-    Thin wrapper over the built-in three-argument ``pow`` so that the
-    cost model and profiler can monkeypatch / observe calls at a single
-    choke point (see :func:`set_powmod_observer`).
+    The single observed choke point for exponentiation: the cost model
+    and profiler see every call (see :func:`set_powmod_observer`), and
+    the active backend decides *how* the result is computed.
+
+    Args:
+        base, exponent, modulus: the operation itself.
+        crt: optional :class:`~repro.crypto.backend.CrtParams` for the
+            modulus; backends that support CRT splitting use it when it
+            matches ``modulus``, others fall back to the plain path.
+            Either way the returned integer is identical.
+        fixed: hint that ``base`` is a per-key constant (``g = n + 1``
+            powers, ``h``-function terms) worth a fixed-base table on
+            backends that keep them.
     """
     if _POWMOD_OBSERVER is not None:
         _POWMOD_OBSERVER()
-    return pow(base, exponent, modulus)
+    if crt is not None and crt.modulus == modulus and exponent >= 0:
+        return _BACKEND.powmod_crt(base, exponent, crt)
+    if fixed and exponent >= 0:
+        table = _BACKEND.fixed_base(base, modulus, max(1, exponent.bit_length()))
+        return table.pow(exponent)
+    return _BACKEND.powmod(base, exponent, modulus)
 
 
 def invert(a: int, modulus: int) -> int:
     """Return the modular inverse of ``a`` modulo ``modulus``.
 
+    Inversion is exponentiation-grade work (extended gcd or
+    ``pow(a, -1, m)``), so it fires the powmod observer: the SMul
+    negative-scalar path and CRT precomputations are attributed instead
+    of silently undercounted.
+
     Raises:
         ValueError: if ``a`` has no inverse modulo ``modulus``.
     """
-    try:
-        return pow(a, -1, modulus)
-    except ValueError as exc:  # pragma: no cover - message normalization
-        raise ValueError(f"{a} is not invertible modulo {modulus}") from exc
+    if _POWMOD_OBSERVER is not None:
+        _POWMOD_OBSERVER()
+    return _BACKEND.invert(a, modulus)
 
 
 def lcm(a: int, b: int) -> int:
@@ -161,13 +245,19 @@ def random_below(n: int) -> int:
     return secrets.randbelow(n)
 
 
-def random_coprime(n: int) -> int:
+def random_coprime(n: int, rng: random.Random | None = None) -> int:
     """Uniform random integer in ``[1, n)`` coprime to ``n``.
 
     For an RSA-style modulus the failure probability per draw is
     negligible, so the loop terminates almost immediately.
+
+    Args:
+        n: the modulus.
+        rng: optional seeded generator — tests pin obfuscator draws
+            with it to prove cross-backend bit-identity; production
+            callers leave it ``None`` for system entropy.
     """
     while True:
-        r = secrets.randbelow(n - 1) + 1
+        r = (rng.randrange(n - 1) if rng is not None else secrets.randbelow(n - 1)) + 1
         if math.gcd(r, n) == 1:
             return r

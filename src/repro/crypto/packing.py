@@ -58,27 +58,57 @@ class PackedCipher:
         return 2 * public_key.key_bits
 
 
-def pack_capacity(public_key: PaillierPublicKey, limb_bits: int = DEFAULT_LIMB_BITS) -> int:
+def pack_capacity(
+    public_key: PaillierPublicKey,
+    limb_bits: int = DEFAULT_LIMB_BITS,
+    top_bits: int | None = None,
+) -> int:
     """Max number of limbs that fit one plaintext without overflow.
 
-    One limb of headroom is reserved so that the top packed value can
-    carry a full ``limb_bits`` of magnitude without colliding with the
-    negative encoding range (we require the packed plaintext to stay
-    below ``max_int`` ~ ``n/3``).
+    One *full limb* of headroom is reserved on top of the packed
+    integer.  A capacity-``t`` pack occupies at most ``(t - 1) *
+    limb_bits + top_bits`` bits (``top_bits`` bounds the magnitude of
+    the *last-packed* value; it defaults to ``limb_bits``, the
+    conservative full-magnitude case), so ``t`` must satisfy
+
+        ``(t - 1) * limb_bits + top_bits + limb_bits <= bit_length(max_int) - 1``
+
+    The headroom limb is what keeps a pack safely inside the positive
+    encoding range even after a homomorphic addition of two such packs
+    — without it, a boundary-sized key (``usable`` an exact multiple of
+    ``limb_bits``) lets ``pack + pack`` spill past ``max_int`` into the
+    dead zone / negative range and every limb decodes corrupted.  (An
+    earlier revision reserved only one *bit*, which a single carried
+    bit of HAdd growth already consumes.)
+
+    Args:
+        public_key: key whose plaintext space bounds the pack.
+        limb_bits: ``M``, the limb stride.
+        top_bits: bound on the bit-length of every packed value
+            (callers that pack shifted prefix sums know their values
+            are far below ``2**M`` and pass the true bound, buying back
+            a limb of capacity).  Must be in ``[1, limb_bits]``.
 
     Raises:
-        ValueError: when not even one ``limb_bits``-bit limb fits the
-            key's plaintext space — packing with such a key would
-            silently overflow into the negative encoding range.
+        ValueError: when ``top_bits`` is out of range, or when not even
+            one limb plus its limb of headroom fits the key's plaintext
+            space — packing with such a key would silently overflow
+            into the negative encoding range.
     """
+    if top_bits is None:
+        top_bits = limb_bits
+    elif not 1 <= top_bits <= limb_bits:
+        raise ValueError(
+            f"top_bits must be in [1, {limb_bits}] (limb_bits), got {top_bits}"
+        )
     usable = public_key.max_int.bit_length() - 1
-    capacity = usable // limb_bits
+    capacity = (usable - top_bits) // limb_bits
     if capacity < 1:
         raise ValueError(
             "key too small to pack any limb: "
             f"{public_key.key_bits}-bit key leaves {usable} usable "
-            f"plaintext bits, fewer than one {limb_bits}-bit limb; "
-            "use a larger key or a narrower limb_bits"
+            f"plaintext bits, fewer than one {limb_bits}-bit limb plus "
+            "its limb of headroom; use a larger key or a narrower limb_bits"
         )
     return capacity
 
@@ -87,6 +117,7 @@ def pack_ciphers(
     context: PaillierContext,
     numbers: Sequence[EncryptedNumber],
     limb_bits: int = DEFAULT_LIMB_BITS,
+    top_bits: int | None = None,
 ) -> PackedCipher:
     """Pack ciphers of non-negative integers into one cipher.
 
@@ -97,6 +128,8 @@ def pack_ciphers(
             (the caller guarantees this via shifting; violations surface
             as corrupted limbs, which the histogram integration tests).
         limb_bits: ``M`` in the paper.
+        top_bits: optional tighter bound on packed-value magnitudes,
+            forwarded to :func:`pack_capacity`.
 
     Returns:
         A :class:`PackedCipher` with the first input in the lowest limb.
@@ -106,7 +139,7 @@ def pack_ciphers(
     """
     if not numbers:
         raise ValueError("cannot pack an empty sequence")
-    capacity = pack_capacity(context.public_key, limb_bits)
+    capacity = pack_capacity(context.public_key, limb_bits, top_bits)
     if len(numbers) > capacity:
         raise ValueError(
             f"cannot pack {len(numbers)} limbs: capacity is {capacity} "

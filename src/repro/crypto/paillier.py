@@ -25,10 +25,12 @@ Implementation notes
 
 from __future__ import annotations
 
+import random
 import secrets
 from dataclasses import dataclass, field
 
 from repro.crypto import math_utils
+from repro.crypto.backend import CrtParams
 
 __all__ = [
     "PaillierPublicKey",
@@ -88,10 +90,23 @@ class PaillierPublicKey:
             obfuscator = self.make_obfuscator()
         return (g_pow_m * obfuscator) % self.n_squared
 
-    def make_obfuscator(self) -> int:
-        """Return a fresh random obfuscation factor ``r^n mod n^2``."""
-        r = math_utils.random_coprime(self.n)
-        return math_utils.powmod(r, self.n, self.n_squared)
+    def make_obfuscator(
+        self,
+        rng: random.Random | None = None,
+        crt: CrtParams | None = None,
+    ) -> int:
+        """Return a fresh random obfuscation factor ``r^n mod n^2``.
+
+        Args:
+            rng: optional seeded generator for the random ``r`` (tests
+                pin it to prove backends produce identical ciphertexts).
+            crt: optional CRT parameters of this key's ``n^2`` — the
+                key holder passes them so CRT-capable backends split
+                the exponentiation; the result is bit-identical either
+                way, and exactly one logical powmod is counted.
+        """
+        r = math_utils.random_coprime(self.n, rng)
+        return math_utils.powmod(r, self.n, self.n_squared, crt=crt)
 
     def raw_add(self, cipher_u: int, cipher_v: int) -> int:
         """HAdd: combine ciphers of ``u`` and ``v`` into a cipher of ``u+v``."""
@@ -144,6 +159,9 @@ class PaillierPrivateKey:
     _hp: int = field(repr=False, default=0)
     _hq: int = field(repr=False, default=0)
     _q_inv_p: int = field(repr=False, default=0)
+    # Lazily built CRT constants for n^2 (crt_params()), not part of
+    # the key's identity.
+    _crt: CrtParams | None = field(repr=False, default=None, compare=False)
 
     def __post_init__(self) -> None:
         n = self.public_key.n
@@ -163,13 +181,38 @@ class PaillierPrivateKey:
 
     def _h_function(self, prime: int, prime_squared: int) -> int:
         n = self.public_key.n
-        g_pow = math_utils.powmod(n + 1, prime - 1, prime_squared)
+        # g = n + 1 is a per-key constant base: backends with fixed-base
+        # tables may comb it (the result is bit-identical regardless).
+        g_pow = math_utils.powmod(n + 1, prime - 1, prime_squared, fixed=True)
         return math_utils.invert(self._l_function(g_pow, prime), prime)
 
     @staticmethod
     def _l_function(x: int, prime: int) -> int:
         """Paillier's ``L(x) = (x - 1) / p`` over integers."""
         return (x - 1) // prime
+
+    def crt_params(self) -> CrtParams:
+        """CRT constants for exponentiations modulo ``n^2``.
+
+        Built once per key (the ``q^2`` inverse is itself an observed
+        inversion) and handed to :meth:`PaillierPublicKey.make_obfuscator`
+        so CRT-capable backends run the obfuscator exponentiation over
+        ``p^2`` / ``q^2`` instead of full-width ``n^2``.  Only the key
+        holder can construct these — public contexts stay on the plain
+        path.
+        """
+        if self._crt is None:
+            object.__setattr__(
+                self,
+                "_crt",
+                CrtParams(
+                    p_squared=self._p_squared,
+                    q_squared=self._q_squared,
+                    q_sq_inv=math_utils.invert(self._q_squared, self._p_squared),
+                    modulus=self.public_key.n_squared,
+                ),
+            )
+        return self._crt
 
     def raw_decrypt(self, ciphertext: int) -> int:
         """Decrypt a raw cipher back to its integer plaintext in ``[0, n)``."""
@@ -248,10 +291,32 @@ class ObfuscatorPool:
     (one big-int exponentiation). The pool moves that work off the
     critical path: refill during idle periods, then encryption inside
     the blaster loop is a couple of modular multiplications.
+
+    Draw order is deterministic given the draws themselves: the pool is
+    a LIFO stack, ``refill`` appends in generation order and ``take``
+    pops from the top, so interleaved refill/take sequences replay
+    identically whenever the injected ``rng`` (or the deposited batch)
+    is the same.
+
+    Args:
+        public_key: key the obfuscators belong to.
+        size: obfuscators to precompute immediately.
+        rng: optional seeded generator for the random ``r`` draws.
+        crt: optional CRT constants of this key (key holder only) —
+            forwarded to :meth:`PaillierPublicKey.make_obfuscator` so
+            CRT-capable backends refill ~2x faster, bit-identically.
     """
 
-    def __init__(self, public_key: PaillierPublicKey, size: int = 0) -> None:
+    def __init__(
+        self,
+        public_key: PaillierPublicKey,
+        size: int = 0,
+        rng: random.Random | None = None,
+        crt: CrtParams | None = None,
+    ) -> None:
         self._public_key = public_key
+        self._rng = rng
+        self._crt = crt
         self._pool: list[int] = []
         if size:
             self.refill(size)
@@ -259,17 +324,27 @@ class ObfuscatorPool:
     def __len__(self) -> int:
         return len(self._pool)
 
+    @property
+    def public_key(self) -> PaillierPublicKey:
+        """The key whose obfuscators this pool holds."""
+        return self._public_key
+
     def refill(self, count: int) -> None:
         """Generate ``count`` additional obfuscators."""
         self._pool.extend(
-            self._public_key.make_obfuscator() for _ in range(count)
+            self._public_key.make_obfuscator(self._rng, self._crt)
+            for _ in range(count)
         )
+
+    def deposit(self, obfuscators) -> None:
+        """Append pre-computed obfuscators (blaster-lane refills)."""
+        self._pool.extend(obfuscators)
 
     def take(self) -> int:
         """Pop one obfuscator, generating on demand if the pool is dry."""
         if self._pool:
             return self._pool.pop()
-        return self._public_key.make_obfuscator()
+        return self._public_key.make_obfuscator(self._rng, self._crt)
 
 
 def derive_insecure_keypair_from_primes(

@@ -55,6 +55,30 @@ class TestEncodeDecode:
             encoder.decode(foreign)
 
 
+class TestBaseMismatch:
+    def test_decode_with_wrong_base_rejected(self, encoder):
+        encoded = encoder.encode(2.5)
+        with pytest.raises(ValueError, match="encoding base mismatch"):
+            encoded.decode(base=2)
+
+    def test_encoder_decode_rejects_foreign_base(self, encoder):
+        # Before EncodedNumber carried its base, this decoded silently
+        # to a wrong value; now the mismatch is an error.
+        foreign = Encoder(PUBLIC, base=2, exponent=8).encode(2.5)
+        with pytest.raises(ValueError, match="encoding base mismatch"):
+            encoder.decode(foreign)
+
+    def test_decrease_exponent_rejects_foreign_base(self, encoder):
+        encoded = encoder.encode(2.5, exponent=4)
+        with pytest.raises(ValueError, match="encoding base mismatch"):
+            encoded.decrease_exponent_to(6, base=2)
+
+    def test_matching_base_round_trips(self, encoder):
+        encoded = encoder.encode(2.5)
+        assert encoded.decode(base=16) == pytest.approx(2.5)
+        assert encoded.base == 16
+
+
 class TestExponentHandling:
     def test_pinned_exponent(self, encoder):
         encoded = encoder.encode(2.5, exponent=4)

@@ -23,12 +23,46 @@ class TestPackCapacity:
         assert pack_capacity(CTX.public_key, 16) > pack_capacity(CTX.public_key, 64)
 
     def test_paper_configuration(self):
-        # S=2048, M=64 -> t = 32 per the paper. Emulate via arithmetic:
-        # capacity ~ (S - log2(3)) / M.
+        # S=2048, M=64 -> t = 32 per the paper's S/M bound. Our space is
+        # n/3 (~ S - 1.6 bits) minus one full limb of HAdd headroom, so
+        # two limbs drop off the paper's figure.
         from repro.crypto.paillier import generate_keypair
 
         pub, _ = generate_keypair(2048, seed=6)
-        assert pack_capacity(pub, 64) == 31  # one limb below n/3 headroom
+        assert pack_capacity(pub, 64) == 30
+
+    def test_full_limb_headroom_at_exact_boundary(self):
+        # Synthetic modulus placing the usable bit count exactly at a
+        # multiple of the limb width: max_int = 2**192, usable = 192.
+        # This is the boundary where the old one-*bit* reservation left
+        # zero headroom: a maximal 3-limb pack decoded fine alone (the
+        # bug was latent) but a single HAdd of two such packs spilled
+        # past max_int into the dead zone, corrupting every limb.
+        from repro.crypto.paillier import PaillierPublicKey
+
+        pub = PaillierPublicKey(3 * (2**192 + 1))
+        usable = pub.max_int.bit_length() - 1
+        assert usable == 192 and usable % 64 == 0
+        maximal_old = (1 << (3 * 64)) - 1  # the old formula allowed 3 limbs
+        assert maximal_old <= pub.max_int < 2 * maximal_old
+        # The full-limb reservation gives 2 limbs, and a maximal 2-limb
+        # pack survives the same HAdd with room to spare.
+        assert pack_capacity(pub, 64) == 2
+        maximal_new = (1 << (2 * 64)) - 1
+        assert 2 * maximal_new <= pub.max_int
+
+    def test_tighter_top_bound_buys_capacity(self):
+        # Callers that know their packed values are far below 2**M get
+        # at least the conservative capacity back, never less.
+        conservative = pack_capacity(CTX.public_key, 64)
+        assert pack_capacity(CTX.public_key, 64, top_bits=8) >= conservative
+        assert pack_capacity(CTX.public_key, 64, top_bits=64) == conservative
+
+    def test_top_bits_validated(self):
+        with pytest.raises(ValueError, match="top_bits"):
+            pack_capacity(CTX.public_key, 64, top_bits=0)
+        with pytest.raises(ValueError, match="top_bits"):
+            pack_capacity(CTX.public_key, 64, top_bits=65)
 
     def test_tiny_key_rejected(self):
         # A 64-bit key leaves ~62 usable plaintext bits — not even one

@@ -1,9 +1,12 @@
 """Unit + property tests for the raw Paillier cryptosystem."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.crypto import math_utils
 from repro.crypto.paillier import (
     ObfuscatorPool,
     PaillierPrivateKey,
@@ -118,6 +121,57 @@ class TestHomomorphicProperties:
         assert PRIVATE.raw_decrypt(total) == 1  # (n - 1 + 2) mod n
 
 
+class TestRawMultiplyNegativeThreshold:
+    """The invert path starts strictly *above* ``max_int * 2``."""
+
+    @staticmethod
+    def _counted(callable_):
+        counted = 0
+
+        def observer():
+            nonlocal counted
+            counted += 1
+
+        previous = math_utils.set_powmod_observer(observer)
+        try:
+            result = callable_()
+        finally:
+            math_utils.set_powmod_observer(previous)
+        return result, counted
+
+    def test_exact_threshold_takes_direct_path(self):
+        cipher = PUBLIC.raw_encrypt(3)
+        scalar = PUBLIC.max_int * 2
+        result, powmods = self._counted(
+            lambda: PUBLIC.raw_multiply(cipher, scalar)
+        )
+        assert powmods == 1  # one plain exponentiation, no inversion
+        assert result == pow(cipher, scalar, PUBLIC.n_squared)
+        assert PRIVATE.raw_decrypt(result) == (3 * scalar) % PUBLIC.n
+
+    def test_one_past_threshold_takes_invert_path(self):
+        cipher = PUBLIC.raw_encrypt(3)
+        scalar = PUBLIC.max_int * 2 + 1
+        result, powmods = self._counted(
+            lambda: PUBLIC.raw_multiply(cipher, scalar)
+        )
+        # The inversion runs through the observed math_utils choke
+        # point, so both operations are counted (invert + powmod).
+        assert powmods == 2
+        assert PRIVATE.raw_decrypt(result) == (3 * scalar) % PUBLIC.n
+
+    def test_paths_agree_around_the_threshold(self):
+        cipher = PUBLIC.raw_encrypt(5)
+        for scalar in (
+            PUBLIC.max_int * 2 - 1,
+            PUBLIC.max_int * 2,
+            PUBLIC.max_int * 2 + 1,
+        ):
+            assert PRIVATE.raw_decrypt(
+                PUBLIC.raw_multiply(cipher, scalar)
+            ) == (5 * scalar) % PUBLIC.n
+
+
 class TestObfuscatorPool:
     def test_pool_refill_and_take(self):
         pool = ObfuscatorPool(PUBLIC, size=3)
@@ -136,6 +190,31 @@ class TestObfuscatorPool:
         for value in range(5):
             cipher = PUBLIC.raw_encrypt(value, obfuscator=pool.take())
             assert PRIVATE.raw_decrypt(cipher) == value
+
+    def test_take_pops_most_recent_refill(self):
+        serial = [
+            PUBLIC.make_obfuscator(rng)
+            for rng in [random.Random(21)]
+            for _ in range(3)
+        ]
+        pool = ObfuscatorPool(PUBLIC, rng=random.Random(21))
+        pool.refill(3)
+        assert [pool.take() for _ in range(3)] == serial[::-1]
+
+    def test_interleaved_refill_take_is_deterministic(self):
+        def drive(pool):
+            pool.refill(3)
+            drawn = [pool.take()]
+            pool.refill(2)
+            drawn += [pool.take() for _ in range(4)]
+            pool.deposit([11, 22])
+            drawn += [pool.take() for _ in range(2)]
+            return drawn
+
+        first = drive(ObfuscatorPool(PUBLIC, rng=random.Random(13)))
+        second = drive(ObfuscatorPool(PUBLIC, rng=random.Random(13)))
+        assert first == second
+        assert first[-2:] == [22, 11]  # LIFO: deposits pop in reverse
 
 
 class TestPublicKeyEquality:

@@ -101,6 +101,25 @@ class TestCounting:
             context.scale_to(cipher, cipher.exponent)  # no-op scale
         assert "scale" not in profiler.summary()["ops"]
 
+    def test_positive_smul_is_one_powmod(self, context):
+        cipher = context.encrypt(2.0)
+        with HotPathProfiler() as profiler:
+            context.multiply(cipher, 3)
+        ops = profiler.summary()["ops"]
+        assert ops["smul"]["count"] == 1
+        assert ops["smul"]["powmods"] == 1
+
+    def test_negative_smul_counts_the_inversion(self, context):
+        cipher = context.encrypt(2.0)
+        with HotPathProfiler() as profiler:
+            context.multiply(cipher, -3)
+        ops = profiler.summary()["ops"]
+        assert ops["smul"]["count"] == 1
+        # Negative scalars invert the cipher before exponentiating; the
+        # inversion goes through the observed math_utils choke point,
+        # so the SMul powmod tally is 2, not an undercounted 1.
+        assert ops["smul"]["powmods"] == 2
+
     def test_unattributed_powmods_under_other(self):
         with HotPathProfiler() as profiler:
             PaillierContext.create(256, seed=3)  # keygen powmods

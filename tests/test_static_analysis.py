@@ -46,6 +46,7 @@ EXPECTED_RULES = [
     ("CR102", "leakypkg/crypto/domains_bad.py"),
     ("CR103", "leakypkg/crypto/domains_bad.py"),
     ("CR104", "leakypkg/crypto/domains_bad.py"),
+    ("CR105", "leakypkg/crypto/raw_pow.py"),
     ("SUP001", "leakypkg/unused_allow.py"),
 ]
 
